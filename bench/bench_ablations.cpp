@@ -1,0 +1,220 @@
+// Ablation benches for the microarchitectural features DESIGN.md calls out.
+// Each ablation isolates one design choice the paper motivates:
+//
+//   A1  TLU silent-step skip        (III-D.4: "skipping the state update in
+//                                    the absence of input activity")
+//   A2  Cluster clock gating        (III-D.4: "units that do not have to
+//                                    update ... are clock-gated")
+//   A3  Double-buffered state       (III-D.4: "practically achieving one
+//                                    state update per cycle")
+//   A4  Fixed vs adaptive sequencer (the constant 48-cycle event sweep)
+//   A5  Cluster output FIFO depth   (III-D.4: FIFOs avoid stalling the scan)
+//   A6  Output DMA count            (IV-A.3: more DMAs sustain bandwidth)
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "data/synthetic.h"
+#include "ecnn/quantized.h"
+#include "ecnn/runner.h"
+#include "energy/calibration_workload.h"
+#include "energy/energy_model.h"
+
+namespace {
+
+using namespace sne;
+
+/// A bursty sparse stimulus: activity concentrated in a few timesteps, long
+/// silences in between — the workload TLU exists for.
+event::EventStream bursty_stream() {
+  event::EventStream s(event::StreamGeometry{2, 32, 32, 100});
+  Rng rng(555);
+  for (std::uint16_t burst : {3, 4, 40, 41, 90}) {
+    for (int i = 0; i < 40; ++i)
+      s.push_update(burst,
+                    static_cast<std::uint16_t>(rng.uniform_int(0, 1)),
+                    static_cast<std::uint8_t>(rng.uniform_int(0, 31)),
+                    static_cast<std::uint8_t>(rng.uniform_int(0, 31)));
+  }
+  s.normalize();
+  return s;
+}
+
+ecnn::QuantizedLayerSpec conv_layer() {
+  ecnn::QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kConv;
+  l.name = "abl_conv";
+  l.in_ch = 2;
+  l.in_w = 32;
+  l.in_h = 32;
+  l.out_ch = 4;
+  l.kernel = 3;
+  l.stride = 1;
+  l.pad = 1;
+  l.weights.resize(4 * 2 * 9);
+  Rng rng(77);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-2, 7));
+  l.lif.v_th = 8;
+  l.lif.leak = 1;
+  return l;
+}
+
+struct RunMetrics {
+  std::uint64_t cycles = 0;
+  double energy_uj = 0.0;
+  hwsim::ActivityCounters counters;
+};
+
+RunMetrics run_conv(const core::SneConfig& hw, event::FirePolicy policy) {
+  core::SneEngine engine(hw);
+  ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  ecnn::QuantizedNetwork net;
+  net.layers.push_back(conv_layer());
+  const auto stats = runner.run(net, bursty_stream(), policy);
+  energy::EnergyModel model(hw);
+  RunMetrics m;
+  m.cycles = stats.cycles;
+  m.energy_uj = model.evaluate(stats.total).total_uj();
+  m.counters = stats.total;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "Microarchitectural design choices",
+                      "Each row toggles one feature of the paper's design on "
+                      "a bursty sparse stimulus (5 active of 100 timesteps)");
+
+  // --- A1: TLU / silent-step skip ------------------------------------------
+  {
+    core::SneConfig hw = core::SneConfig::paper_design_point(4);
+    const RunMetrics with_tlu = run_conv(hw, event::FirePolicy::kActiveStepsOnly);
+    const RunMetrics without = run_conv(hw, event::FirePolicy::kEveryStep);
+    AsciiTable t({"A1: TLU silent-step skip", "Cycles", "Energy [uJ]",
+                  "FIRE scans"});
+    t.add_row({"enabled (paper)", std::to_string(with_tlu.cycles),
+               AsciiTable::num(with_tlu.energy_uj, 4),
+               std::to_string(with_tlu.counters.fire_scans)});
+    t.add_row({"disabled (fire every step)", std::to_string(without.cycles),
+               AsciiTable::num(without.energy_uj, 4),
+               std::to_string(without.counters.fire_scans)});
+    t.print(std::cout);
+    std::cout << "  -> skip saves "
+              << AsciiTable::num(
+                     (1.0 - static_cast<double>(with_tlu.cycles) /
+                                static_cast<double>(without.cycles)) *
+                         100.0,
+                     1)
+              << "% cycles and "
+              << AsciiTable::num(
+                     (1.0 - with_tlu.energy_uj / without.energy_uj) * 100.0, 1)
+              << "% energy on this stimulus; output spikes are identical "
+                 "(verified by the test suite).\n\n";
+  }
+
+  // --- A2: clock gating -----------------------------------------------------
+  {
+    core::SneConfig on = core::SneConfig::paper_design_point(4);
+    core::SneConfig off = on;
+    off.clock_gating = false;
+    const RunMetrics a = run_conv(on, event::FirePolicy::kActiveStepsOnly);
+    const RunMetrics b = run_conv(off, event::FirePolicy::kActiveStepsOnly);
+    AsciiTable t({"A2: cluster clock gating", "Energy [uJ]",
+                  "Gated cluster-cycles", "Active cluster-cycles"});
+    t.add_row({"enabled (paper)", AsciiTable::num(a.energy_uj, 4),
+               std::to_string(a.counters.gated_cluster_cycles),
+               std::to_string(a.counters.active_cluster_cycles)});
+    t.add_row({"disabled", AsciiTable::num(b.energy_uj, 4),
+               std::to_string(b.counters.gated_cluster_cycles),
+               std::to_string(b.counters.active_cluster_cycles)});
+    t.print(std::cout);
+    std::cout << "  -> gating saves "
+              << AsciiTable::num((1.0 - a.energy_uj / b.energy_uj) * 100.0, 1)
+              << "% energy (timing unchanged: " << a.cycles << " vs "
+              << b.cycles << " cycles).\n\n";
+  }
+
+  // --- A3: double-buffered state memory -------------------------------------
+  {
+    core::SneConfig fast = core::SneConfig::paper_design_point(4);
+    core::SneConfig slow = fast;
+    slow.double_buffered_state = false;
+    const RunMetrics a = run_conv(fast, event::FirePolicy::kActiveStepsOnly);
+    const RunMetrics b = run_conv(slow, event::FirePolicy::kActiveStepsOnly);
+    AsciiTable t({"A3: state memory banking", "Cycles", "Cycles/event"});
+    const double ev = static_cast<double>(a.counters.events_consumed) / 4.0;
+    t.add_row({"double-buffered (paper)", std::to_string(a.cycles),
+               AsciiTable::num(static_cast<double>(a.cycles) / ev, 1)});
+    t.add_row({"single-buffered", std::to_string(b.cycles),
+               AsciiTable::num(static_cast<double>(b.cycles) / ev, 1)});
+    t.print(std::cout);
+    std::cout << "  -> double buffering sustains one update per cycle ("
+              << AsciiTable::num(static_cast<double>(b.cycles) /
+                                     static_cast<double>(a.cycles),
+                                 2)
+              << "x speedup over single-buffered).\n\n";
+  }
+
+  // --- A4: fixed vs adaptive sequencer --------------------------------------
+  {
+    core::SneConfig fixed = core::SneConfig::paper_design_point(4);
+    core::SneConfig adaptive = fixed;
+    adaptive.adaptive_sequencer = true;
+    const RunMetrics a = run_conv(fixed, event::FirePolicy::kActiveStepsOnly);
+    const RunMetrics b = run_conv(adaptive, event::FirePolicy::kActiveStepsOnly);
+    AsciiTable t({"A4: sequencer", "Cycles", "SOPs"});
+    t.add_row({"fixed 48-cycle sweep (paper)", std::to_string(a.cycles),
+               std::to_string(a.counters.neuron_updates)});
+    t.add_row({"adaptive row sweep", std::to_string(b.cycles),
+               std::to_string(b.counters.neuron_updates)});
+    t.print(std::cout);
+    std::cout << "  -> an adaptive sequencer would cut "
+              << AsciiTable::num(
+                     (1.0 - static_cast<double>(b.cycles) /
+                                static_cast<double>(a.cycles)) *
+                         100.0,
+                     1)
+              << "% of cycles on 3x3 kernels at equal SOPs — the paper "
+                 "chose control simplicity (constant event latency).\n\n";
+  }
+
+  // --- A5: cluster FIFO depth ------------------------------------------------
+  {
+    AsciiTable t({"A5: cluster FIFO depth", "Cycles", "FIRE stall cycles"});
+    for (std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+      core::SneConfig hw = core::SneConfig::paper_design_point(4);
+      hw.cluster_fifo_depth = depth;
+      // Low threshold -> dense firing -> pressure on the output FIFOs.
+      core::SneEngine engine(hw);
+      ecnn::NetworkRunner runner(engine, false);
+      ecnn::QuantizedNetwork net;
+      net.layers.push_back(conv_layer());
+      net.layers[0].lif.v_th = 1;
+      const auto stats = runner.run(net, bursty_stream());
+      t.add_row({std::to_string(depth), std::to_string(stats.cycles),
+                 std::to_string(stats.total.fifo_stall_cycles)});
+    }
+    t.print(std::cout);
+    std::cout << "  -> deeper per-cluster FIFOs absorb firing bursts; the "
+                 "paper's choice (4) removes most scan stalls.\n\n";
+  }
+
+  // --- A6: output DMA count ---------------------------------------------------
+  {
+    AsciiTable t({"A6: output DMAs", "Dense-workload cycles",
+                  "Simulated pJ/SOP"});
+    core::SneConfig hw8 = core::SneConfig::paper_design_point(8);
+    energy::EnergyModel model(hw8);
+    for (std::uint32_t dmas : {1u, 2u, 4u, 8u}) {
+      const auto run = energy::run_calibration_workload(8, 30, 48, dmas);
+      t.add_row({std::to_string(dmas), std::to_string(run.cycles),
+                 AsciiTable::num(model.pj_per_sop(run.counters), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "  -> with one DMA the collector can throttle dense output "
+                 "activity; extra DMAs keep the engine at the 0.22 pJ/SOP "
+                 "operating point (paper IV-A.3).\n";
+  }
+  return 0;
+}

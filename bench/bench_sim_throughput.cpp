@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks of the simulator itself: host-side
+// throughput of the cycle-accurate engine, the golden executor and the event
+// codec. These do not reproduce paper numbers; they document the cost of
+// using this repository (simulated cycles per host-second).
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/golden.h"
+#include "ecnn/runner.h"
+#include "event/event.h"
+
+namespace {
+
+using namespace sne;
+
+ecnn::QuantizedLayerSpec bench_layer() {
+  ecnn::QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kConv;
+  l.name = "bench_conv";
+  l.in_ch = 2;
+  l.in_w = 32;
+  l.in_h = 32;
+  l.out_ch = 4;
+  l.kernel = 3;
+  l.stride = 1;
+  l.pad = 1;
+  l.weights.resize(4 * 2 * 9);
+  Rng rng(5);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-4, 7));
+  l.lif.v_th = 6;
+  l.lif.leak = 1;
+  return l;
+}
+
+void BM_EventPackUnpack(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<event::Event> events(1024);
+  for (auto& e : events)
+    e = event::Event::update(
+        static_cast<std::uint16_t>(rng.uniform_int(0, 255)),
+        static_cast<std::uint16_t>(rng.uniform_int(0, 255)),
+        static_cast<std::uint8_t>(rng.uniform_int(0, 127)),
+        static_cast<std::uint8_t>(rng.uniform_int(0, 127)));
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const auto& e : events) acc ^= event::pack(e);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_EventPackUnpack);
+
+void BM_GoldenLayer(benchmark::State& state) {
+  const auto layer = bench_layer();
+  const auto in = data::random_stream(
+      {2, 32, 32, 20}, static_cast<double>(state.range(0)) / 1000.0, 99);
+  for (auto _ : state) {
+    auto trace = ecnn::GoldenExecutor::run_layer(layer, in);
+    benchmark::DoNotOptimize(trace.output_events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(in.update_count()));
+  state.SetLabel("events/iter=" + std::to_string(in.update_count()));
+}
+BENCHMARK(BM_GoldenLayer)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_CycleAccurateLayer(benchmark::State& state) {
+  const auto layer = bench_layer();
+  const auto in = data::random_stream({2, 32, 32, 20}, 0.03, 99);
+  core::SneConfig hw = core::SneConfig::paper_design_point(
+      static_cast<std::uint32_t>(state.range(0)));
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    core::SneEngine engine(hw);
+    ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
+    ecnn::QuantizedNetwork net;
+    net.layers.push_back(layer);
+    const auto stats = runner.run(net, in);
+    cycles += stats.cycles;
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CycleAccurateLayer)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GestureGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    data::GestureConfig cfg;
+    cfg.samples_per_class = 1;
+    auto d = data::make_gesture_dataset(cfg);
+    benchmark::DoNotOptimize(d.samples.size());
+  }
+}
+BENCHMARK(BM_GestureGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

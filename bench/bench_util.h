@@ -1,0 +1,31 @@
+// Shared helpers for the reproduction benches: each bench prints the paper's
+// published numbers next to what this repository measures, in a form that
+// can be pasted into EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace sne::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& paper_artifact,
+                         const std::string& what) {
+  std::cout << "\n==================================================================\n"
+            << experiment_id << " — " << paper_artifact << "\n"
+            << what << "\n"
+            << "==================================================================\n";
+}
+
+/// Relative deviation as a percentage string, e.g. "+1.3%".
+inline std::string deviation(double measured, double paper) {
+  if (paper == 0.0) return "n/a";
+  const double d = (measured - paper) / paper * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", d);
+  return buf;
+}
+
+}  // namespace sne::bench

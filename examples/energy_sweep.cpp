@@ -1,0 +1,68 @@
+// Energy proportionality in one picture: sweep the input activity of a conv
+// layer and watch energy track the event count linearly while a dense
+// frame-based engine would burn a constant amount per frame.
+//
+//   $ ./energy_sweep
+#include <iostream>
+
+#include "common/table.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/quantized.h"
+#include "ecnn/runner.h"
+#include "energy/energy_model.h"
+
+int main() {
+  using namespace sne;
+  std::cout << "SNE energy proportionality sweep (3x3 conv, 2->4 channels, "
+               "32x32, 50 timesteps)\n\n";
+
+  ecnn::QuantizedLayerSpec layer;
+  layer.type = ecnn::LayerSpec::Type::kConv;
+  layer.name = "sweep_conv";
+  layer.in_ch = 2;
+  layer.in_w = 32;
+  layer.in_h = 32;
+  layer.out_ch = 4;
+  layer.kernel = 3;
+  layer.stride = 1;
+  layer.pad = 1;
+  layer.weights.resize(4 * 2 * 9);
+  Rng rng(11);
+  for (auto& w : layer.weights) w = static_cast<std::int8_t>(rng.uniform_int(-2, 6));
+  layer.lif.v_th = 9;
+  layer.lif.leak = 1;
+
+  core::SneConfig hw = core::SneConfig::paper_design_point(4);
+  energy::EnergyModel model(hw);
+
+  // A frame-based engine processes every site of every frame: its per-
+  // inference energy is activity-independent. Model it at the same pJ/SOP.
+  const double dense_sops = 2.0 * 32 * 32 * 50 * 9 * 4;  // all sites x RF
+  const double dense_uj = dense_sops * model.dense_pj_per_sop() * 1e-6;
+
+  AsciiTable table({"Activity", "Events", "SOPs", "Energy [uJ]",
+                    "Frame-based [uJ]", "SNE advantage"});
+  for (double act : {0.005, 0.012, 0.02, 0.03, 0.049, 0.08}) {
+    const auto in = data::random_stream({2, 32, 32, 50}, act, 3030);
+    core::SneEngine engine(hw);
+    ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
+    ecnn::QuantizedNetwork net;
+    net.layers.push_back(layer);
+    const auto stats = runner.run(net, in);
+    const double uj = model.evaluate(stats.total).total_uj();
+    table.add_row({AsciiTable::num(act * 100.0, 1) + "%",
+                   std::to_string(in.update_count()),
+                   std::to_string(stats.total.neuron_updates),
+                   AsciiTable::num(uj, 3), AsciiTable::num(dense_uj, 2),
+                   AsciiTable::num(dense_uj / uj, 1) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe number of operations — and therefore the energy — is "
+               "proportional to the number of events in the input stream "
+               "(paper abstract). A frame-based engine pays the full-frame "
+               "cost regardless of activity; SNE's advantage grows as the "
+               "stream gets sparser.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// End-to-end gesture inference on the full accelerator model.
+//
+// Builds the paper's Fig. 6 topology (scaled to the synthetic 32x32 DVS
+// input), gives it activity-calibrated random weights, and runs one
+// synthetic gesture sample through the *cycle-accurate* engine in the
+// time-multiplexed operating mode — the same flow the Table I experiment
+// uses, compressed into a single runnable program. Prints the per-layer
+// event ledger, the classification readout, latency and energy.
+//
+//   $ ./gesture_inference [class 0..10]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/golden.h"
+#include "ecnn/quantized.h"
+#include "ecnn/runner.h"
+#include "energy/energy_model.h"
+
+int main(int argc, char** argv) {
+  using namespace sne;
+  const std::uint16_t wanted_class =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 3;
+
+  // Synthetic DVS-Gesture sample of the requested class.
+  data::GestureConfig gcfg;
+  gcfg.samples_per_class = 1;
+  gcfg.timesteps = 40;
+  const data::Dataset ds = data::make_gesture_dataset(gcfg);
+  const data::Sample& sample = ds.samples.at(wanted_class % ds.classes);
+  std::cout << "sample: class " << sample.label << ", "
+            << sample.stream.update_count() << " events, activity "
+            << AsciiTable::num(sample.stream.activity() * 100.0, 2) << "%\n";
+
+  // Fig. 6 topology, scaled; thresholds picked for live inter-layer
+  // activity (a trained network would come from sne::train instead).
+  ecnn::Network net = ecnn::Network::paper_topology(2, 32, 32, 11, 8, 64);
+  Rng rng(99);
+  for (auto& l : net.layers) {
+    for (auto& w : l.weights) w = static_cast<float>(rng.uniform(-0.3, 1.0));
+    l.threshold = 2.0f;
+    l.leak = 0.05f;
+  }
+  const ecnn::QuantizedNetwork qnet = ecnn::quantize(net);
+
+  // Run on the 8-slice cycle-accurate engine, layer by layer (TM mode).
+  core::SneConfig hw = core::SneConfig::paper_design_point(8);
+  core::SneEngine engine(hw);
+  ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  const ecnn::NetworkRunStats stats = runner.run(qnet, sample.stream);
+
+  AsciiTable table({"Layer", "Rounds", "Events in", "Events out", "Cycles",
+                    "SOPs"});
+  for (const auto& l : stats.layers)
+    table.add_row({l.name, std::to_string(l.rounds),
+                   std::to_string(l.input_events),
+                   std::to_string(l.output_events), std::to_string(l.cycles),
+                   std::to_string(l.counters.neuron_updates)});
+  table.print(std::cout);
+
+  // Classification readout: output neuron with the most spikes.
+  const auto counts =
+      ecnn::GoldenExecutor::class_spike_counts(stats.final_output, 11);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < counts.size(); ++k)
+    if (counts[k] > counts[best]) best = k;
+  std::cout << "\nclass spike counts: [";
+  for (std::size_t k = 0; k < counts.size(); ++k)
+    std::cout << counts[k] << (k + 1 < counts.size() ? ", " : "]\n");
+  std::cout << "predicted class: " << best
+            << " (weights are random here — train with sne::train for a "
+               "meaningful prediction)\n";
+
+  energy::EnergyModel model(hw);
+  const auto rep = model.evaluate(stats.total);
+  std::cout << "\ntotal cycles: " << stats.cycles << " ("
+            << AsciiTable::num(static_cast<double>(stats.cycles) *
+                                   hw.cycle_ns() * 1e-6, 3)
+            << " ms at 400 MHz)\n";
+  std::cout << "paper-method time (events x 120 ns): "
+            << AsciiTable::num(stats.paper_method_time_ms(
+                                   hw.cycle_ns(), hw.update_sweep_cycles), 3)
+            << " ms\n";
+  std::cout << "energy: " << AsciiTable::num(rep.total_uj(), 3) << " uJ ("
+            << AsciiTable::num(rep.datapath_pj / rep.total_pj() * 100.0, 1)
+            << "% datapath, "
+            << AsciiTable::num(rep.control_pj / rep.total_pj() * 100.0, 1)
+            << "% control, "
+            << AsciiTable::num(rep.movement_pj / rep.total_pj() * 100.0, 1)
+            << "% data movement)\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Train-and-deploy walkthrough: the full SLAYER-substitute flow from the
+// Table I experiment as a standalone program.
+//
+//  1. generate a synthetic event dataset,
+//  2. train the eCNN with surrogate-gradient BPTT (SNE linear-leak LIF),
+//  3. quantize to SNE-LIF-4b (4-bit weights, 8-bit threshold/leak),
+//  4. evaluate the integer model with the golden executor,
+//  5. deploy one test sample on the cycle-accurate engine and report
+//     accuracy, latency and energy.
+//
+//   $ ./train_and_deploy            (small defaults, ~1 minute)
+#include <iostream>
+
+#include "common/table.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/golden.h"
+#include "ecnn/quantized.h"
+#include "ecnn/runner.h"
+#include "energy/energy_model.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace sne;
+  std::cout << "SNE train-and-deploy walkthrough\n\n";
+
+  // 1. Data: 2-class subset of the synthetic gesture task (claps vs waves)
+  //    to keep the example fast.
+  data::GestureConfig gcfg;
+  gcfg.classes = 4;
+  gcfg.samples_per_class = 10;
+  gcfg.timesteps = 24;
+  const data::Dataset ds = data::make_gesture_dataset(gcfg);
+  const data::DatasetSplit split = ds.split(0.7, 0.0, 7);
+  std::cout << "[1] dataset: " << ds.samples.size() << " samples, "
+            << ds.classes << " classes, mean activity "
+            << AsciiTable::num(ds.mean_activity() * 100.0, 2) << "%\n";
+
+  // 2. Train a small eCNN with the SNE neuron model.
+  ecnn::Network topo = ecnn::Network::paper_topology(2, 32, 32, gcfg.classes,
+                                                     /*features=*/6,
+                                                     /*hidden=*/32);
+  train::TrainConfig tcfg;
+  tcfg.model = train::NeuronModel::kSneLif;
+  tcfg.epochs = 10;
+  tcfg.lr = 3e-3;
+  train::Trainer trainer(topo, tcfg);
+  trainer.calibrate_thresholds(split.train);
+  std::cout << "[2] training " << tcfg.epochs << " epochs on "
+            << split.train.samples.size() << " samples...\n";
+  const auto history = trainer.fit(split.train);
+  std::cout << "    loss " << AsciiTable::num(history.front().loss, 3)
+            << " -> " << AsciiTable::num(history.back().loss, 3)
+            << ", train acc "
+            << AsciiTable::num(history.back().train_accuracy * 100.0, 1)
+            << "%\n";
+  std::cout << "    float test accuracy: "
+            << AsciiTable::num(trainer.evaluate(split.test) * 100.0, 1)
+            << "%\n";
+
+  // 3. Quantize to the SNE integer grid.
+  const ecnn::QuantizedNetwork qnet = ecnn::quantize(trainer.network());
+  std::cout << "[3] quantized to 4-bit weights; per-layer (scale, v_th, leak):\n";
+  for (const auto& l : qnet.layers)
+    std::cout << "      " << l.name << ": (" << AsciiTable::num(l.scale, 4)
+              << ", " << l.lif.v_th << ", " << l.lif.leak << ")\n";
+
+  // 4. Integer-model accuracy (what the silicon would produce).
+  std::size_t correct = 0;
+  for (const auto& s : split.test.samples) {
+    const auto traces = ecnn::GoldenExecutor::run_network(qnet, s.stream);
+    const auto counts = ecnn::GoldenExecutor::class_spike_counts(
+        traces.back().output, gcfg.classes);
+    std::size_t pred = 0;
+    for (std::size_t k = 1; k < counts.size(); ++k)
+      if (counts[k] > counts[pred]) pred = k;
+    if (pred == s.label) ++correct;
+  }
+  std::cout << "[4] SNE-LIF-4b test accuracy (integer golden model): "
+            << AsciiTable::num(100.0 * static_cast<double>(correct) /
+                                   static_cast<double>(split.test.samples.size()),
+                               1)
+            << "%\n";
+
+  // 5. Deploy one sample on the cycle-accurate engine.
+  core::SneConfig hw = core::SneConfig::paper_design_point(8);
+  core::SneEngine engine(hw);
+  ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  const auto& probe = split.test.samples.front();
+  const auto stats = runner.run(qnet, probe.stream);
+  energy::EnergyModel model(hw);
+  std::cout << "[5] deployed one sample (true class " << probe.label
+            << ") on the 8-slice engine:\n"
+            << "      " << stats.total_input_events() << " events, "
+            << stats.cycles << " cycles ("
+            << AsciiTable::num(static_cast<double>(stats.cycles) *
+                                   hw.cycle_ns() * 1e-6, 3)
+            << " ms), "
+            << AsciiTable::num(model.evaluate(stats.total).total_uj(), 3)
+            << " uJ\n";
+  std::cout << "\ndone.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.6/I.8,
+// Expects/Ensures). Violations throw sne::ContractViolation so tests can
+// assert on them; they are never compiled out, because the simulator's
+// correctness claims rest on these invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sne {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for errors caused by invalid user configuration (bad layer
+/// geometry, out-of-range register values, ...), as opposed to internal bugs.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace sne
+
+#define SNE_EXPECTS(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) ::sne::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define SNE_ENSURES(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) ::sne::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define SNE_ASSERT(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::sne::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,80 @@
+// Saturating narrow-integer arithmetic used by the SNE datapath model.
+//
+// The paper's cluster datapath uses 4-bit signed synaptic weights and an
+// 8-bit signed membrane state (section III-D.4). All accumulations saturate:
+// a hardware adder with saturation logic never wraps, and the training flow
+// (sne::train) quantizes into exactly these ranges.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/contracts.h"
+
+namespace sne {
+
+/// Value range of an n-bit two's-complement signed integer.
+struct IntRange {
+  std::int32_t lo;
+  std::int32_t hi;
+};
+
+/// Range of an n-bit signed integer, e.g. bits=4 -> [-8, 7].
+constexpr IntRange signed_range(int bits) {
+  return IntRange{-(1 << (bits - 1)), (1 << (bits - 1)) - 1};
+}
+
+inline constexpr IntRange kWeightRange = signed_range(4);   // 4-bit weights
+inline constexpr IntRange kStateRange = signed_range(8);    // 8-bit membrane
+
+/// Clamps v into [r.lo, r.hi].
+constexpr std::int32_t saturate(std::int32_t v, IntRange r) {
+  return std::clamp(v, r.lo, r.hi);
+}
+
+/// Saturating addition into an arbitrary signed range.
+constexpr std::int32_t sat_add(std::int32_t a, std::int32_t b, IntRange r) {
+  return saturate(a + b, r);
+}
+
+/// True iff v is representable in the given range.
+constexpr bool fits(std::int32_t v, IntRange r) { return v >= r.lo && v <= r.hi; }
+
+/// Quantizes a real-valued weight into the 4-bit grid [-8, 7] with the given
+/// scale (w_q = round(w / scale), saturated). Returns the integer code.
+inline std::int32_t quantize_weight(double w, double scale) {
+  SNE_EXPECTS(scale > 0.0);
+  const double q = w / scale;
+  const std::int32_t rounded =
+      static_cast<std::int32_t>(q >= 0.0 ? q + 0.5 : q - 0.5);
+  return saturate(rounded, kWeightRange);
+}
+
+/// Dequantizes a 4-bit weight code back to a real value.
+inline double dequantize_weight(std::int32_t code, double scale) {
+  SNE_EXPECTS(fits(code, kWeightRange));
+  return static_cast<double>(code) * scale;
+}
+
+/// Picks a per-tensor quantization scale so that `max_abs` maps to the edge
+/// of the 4-bit range (symmetric quantization, as used for SNE-LIF-4b).
+inline double weight_scale_for(double max_abs) {
+  SNE_EXPECTS(max_abs >= 0.0);
+  if (max_abs == 0.0) return 1.0;
+  return max_abs / static_cast<double>(kWeightRange.hi);
+}
+
+/// Packs two's-complement value into an n-bit field (for event/weight codecs).
+constexpr std::uint32_t to_field(std::int32_t v, int bits) {
+  return static_cast<std::uint32_t>(v) & ((1u << bits) - 1u);
+}
+
+/// Sign-extends an n-bit field back to int32.
+constexpr std::int32_t from_field(std::uint32_t f, int bits) {
+  const std::uint32_t mask = (1u << bits) - 1u;
+  const std::uint32_t v = f & mask;
+  const std::uint32_t sign = 1u << (bits - 1);
+  return static_cast<std::int32_t>((v ^ sign)) - static_cast<std::int32_t>(sign);
+}
+
+}  // namespace sne

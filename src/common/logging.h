@@ -1,0 +1,57 @@
+// Leveled stderr logging. Off by default above WARN; benches and examples
+// raise the level explicitly. Not thread-safe by design (the simulator is
+// single-threaded; trainer workers do not log).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sne {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; messages below it are discarded.
+inline LogLevel& log_threshold() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+inline const char* log_level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+inline void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_threshold()) return;
+  std::cerr << "[sne:" << log_level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace sne
+
+#define SNE_LOG_DEBUG(msg)                                   \
+  do {                                                       \
+    std::ostringstream os_;                                  \
+    os_ << msg;                                              \
+    ::sne::log_message(::sne::LogLevel::kDebug, os_.str());  \
+  } while (false)
+
+#define SNE_LOG_INFO(msg)                                    \
+  do {                                                       \
+    std::ostringstream os_;                                  \
+    os_ << msg;                                              \
+    ::sne::log_message(::sne::LogLevel::kInfo, os_.str());   \
+  } while (false)
+
+#define SNE_LOG_WARN(msg)                                    \
+  do {                                                       \
+    std::ostringstream os_;                                  \
+    os_ << msg;                                              \
+    ::sne::log_message(::sne::LogLevel::kWarn, os_.str());   \
+  } while (false)

@@ -1,0 +1,48 @@
+// Tiny fork-join helper for the software training substrate.
+//
+// The cycle-accurate simulator is single-threaded and deterministic by
+// design; only the trainer's dense tensor loops use this. Work is split into
+// contiguous index ranges, one per worker, so results are independent of the
+// thread count as long as the body only writes to its own indices.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace sne {
+
+/// Number of workers used by parallel_for (hardware concurrency, >= 1).
+inline unsigned parallel_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+/// Invokes body(i) for every i in [begin, end), splitting the range over the
+/// available hardware threads. Falls back to serial execution for small
+/// ranges where thread spawn cost dominates.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const unsigned workers = parallel_workers();
+  if (n == 0) return;
+  if (n < 64 || workers == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    threads.emplace_back([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace sne

@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All stochastic components of the reproduction (dataset generators, random
+// test stimuli, weight initialization) draw from this generator so that every
+// experiment is reproducible from a single 64-bit seed. The implementation is
+// xoshiro256** 1.0 (Blackman & Vigna, public domain), chosen over std::mt19937
+// because its output sequence is identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/contracts.h"
+
+namespace sne {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initializes the state from a single seed via splitmix64, which
+  /// guarantees a non-zero, well-mixed state for any seed value.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses rejection-free Lemire
+  /// reduction; the tiny modulo bias is irrelevant for workload synthesis.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    SNE_EXPECTS(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+    return lo + static_cast<std::int64_t>(next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (no state caching; called rarely).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double mag = stddev * std::sqrt(-2.0 * std::log(u1));
+    return mean + mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Poisson-distributed count (Knuth's algorithm; fine for small lambda,
+  /// falls back to a normal approximation for large lambda).
+  std::uint32_t poisson(double lambda) {
+    SNE_EXPECTS(lambda >= 0.0);
+    if (lambda > 64.0) {
+      const double v = normal(lambda, std::sqrt(lambda));
+      return v <= 0.0 ? 0u : static_cast<std::uint32_t>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint32_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= uniform();
+    }
+    return n;
+  }
+
+  /// Forks an independent stream; used to give each dataset sample its own
+  /// generator so samples are order-independent.
+  Rng fork(std::uint64_t stream_id) {
+    Rng child(next() ^ (stream_id * 0xD1B54A32D192ED03ull));
+    return child;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sne

@@ -1,0 +1,79 @@
+// ASCII table printer used by every benchmark harness to render the paper's
+// tables and figures side by side with measured values.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace sne {
+
+/// Column-aligned ASCII table. Rows are appended cell-by-cell; the printer
+/// computes column widths and renders a GitHub-flavoured markdown-ish grid so
+/// benchmark output can be pasted directly into EXPERIMENTS.md.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {
+    SNE_EXPECTS(!header_.empty());
+  }
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells) {
+    SNE_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with the given precision (helper for cell building).
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t c = 0; c < row.size(); ++c)
+        os << " " << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+      os << "\n";
+    };
+    print_row(header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a one-line horizontal bar (for figure-style benchmark output),
+/// scaled so that `full_scale` maps to `width` characters.
+inline std::string ascii_bar(double value, double full_scale, int width = 40) {
+  SNE_EXPECTS(full_scale > 0.0 && width > 0);
+  int n = static_cast<int>(value / full_scale * width + 0.5);
+  n = std::max(0, std::min(width, n));
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace sne

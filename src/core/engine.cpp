@@ -1,0 +1,174 @@
+#include "core/engine.h"
+
+#include <sstream>
+
+namespace sne::core {
+
+SneEngine::SneEngine(SneConfig cfg, std::size_t memory_words,
+                     hwsim::MemoryTiming mem_timing)
+    : cfg_(cfg),
+      mem_(memory_words, mem_timing),
+      in_dma_(mem_, cfg.dma_fifo_depth),
+      collector_arb_(cfg.num_slices),
+      routes_(XbarRoutes::time_multiplexed(cfg.num_slices)) {
+  cfg_.validate();
+  SNE_EXPECTS(memory_words >= 1024);
+  slices_.reserve(cfg_.num_slices);
+  for (std::uint32_t i = 0; i < cfg_.num_slices; ++i)
+    slices_.push_back(std::make_unique<Slice>(i, cfg_));
+  for (std::uint32_t i = 0; i < cfg_.num_output_dmas; ++i)
+    out_dmas_.emplace_back(mem_, cfg_.dma_fifo_depth);
+  // Memory map: program in the lower half; the upper half is split into one
+  // linear output region per output DMA.
+  out_region_base_ = memory_words / 2;
+  out_region_words_ = (memory_words - out_region_base_) / cfg_.num_output_dmas;
+}
+
+SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
+                                    const RunOptions& opts) {
+  if (program.size() > out_region_base_)
+    throw ConfigError("program does not fit the input memory region");
+  for (auto d : routes_.input_dest)
+    if (!slice(d).configured())
+      throw ConfigError("route targets an unconfigured slice");
+
+  mem_.load(0, program);
+  in_dma_.start(0, program.size());
+  for (std::uint32_t i = 0; i < out_dmas_.size(); ++i)
+    out_dmas_[i].start(out_region_base_ + i * out_region_words_,
+                       out_region_words_);
+
+  hwsim::ActivityCounters c;
+  while (!quiescent()) {
+    if (c.cycles >= opts.max_cycles) {
+      std::ostringstream os;
+      os << "engine did not quiesce within " << opts.max_cycles
+         << " cycles; counters: " << c;
+      throw ContractViolation(os.str());
+    }
+    tick(c);
+    c.cycles++;
+    bool all_idle = true;
+    for (const auto& s : slices_)
+      if (s->busy()) all_idle = false;
+    if (all_idle) c.idle_cycles++;
+  }
+
+  RunResult r;
+  r.counters = c;
+  r.cycles = c.cycles;
+  r.sim_time_us = static_cast<double>(c.cycles) * cfg_.cycle_ns() * 1e-3;
+  std::vector<event::Beat> beats;
+  for (std::uint32_t i = 0; i < out_dmas_.size(); ++i) {
+    const auto part = mem_.dump(out_region_base_ + i * out_region_words_,
+                                out_dmas_[i].written());
+    beats.insert(beats.end(), part.begin(), part.end());
+  }
+  r.output = event::EventStream::from_beats(beats, opts.out_geometry);
+  r.output.normalize();
+  total_ += c;
+  return r;
+}
+
+SneEngine::RunResult SneEngine::run(const event::EventStream& stream,
+                                    const RunOptions& opts,
+                                    event::FirePolicy policy) {
+  RunOptions o = opts;
+  if (o.out_geometry.volume() <= 1) {
+    // Default the output geometry from the slice that feeds the output DMA
+    // (the last pipeline stage, or any slice in time-multiplexed mode).
+    for (std::size_t i = 0; i < routes_.slice_dest.size(); ++i) {
+      if (routes_.slice_dest[i].dest != SliceRoute::kToMemory) continue;
+      const SliceConfig& last = slice(static_cast<std::uint32_t>(i)).config();
+      o.out_geometry.channels = last.out_channels;
+      o.out_geometry.width = static_cast<std::uint8_t>(last.out_width);
+      o.out_geometry.height = static_cast<std::uint8_t>(last.out_height);
+      o.out_geometry.timesteps = stream.geometry().timesteps;
+      break;
+    }
+  }
+  return run(stream.with_control_events(policy).to_beats(), o);
+}
+
+void SneEngine::tick(hwsim::ActivityCounters& c) {
+  // Consumer-first ordering: every beat advances at most one hop per cycle,
+  // mirroring the registered FIFO stages of the RTL.
+  for (auto& dma : out_dmas_) dma.tick(c);
+  collector_tick(c);
+  xbar_slice_moves(c);
+  for (auto& s : slices_) s->tick(c);
+  xbar_input_move(c);
+  in_dma_.tick(c);
+}
+
+bool SneEngine::quiescent() const {
+  if (!in_dma_.fully_drained()) return false;
+  for (const auto& s : slices_) {
+    if (s->busy()) return false;
+    if (!s->out_fifo().empty()) return false;
+  }
+  for (const auto& dma : out_dmas_)
+    if (!dma.fifo().empty()) return false;
+  return true;
+}
+
+void SneEngine::xbar_input_move(hwsim::ActivityCounters& c) {
+  auto& src = in_dma_.fifo();
+  if (src.empty()) return;
+  // Broadcast flow control: "pause the transaction until all slave ports
+  // have received the event" -> move only when every destination has space.
+  for (auto d : routes_.input_dest)
+    if (slice(d).in_fifo().full()) return;
+  const event::Beat b = src.pop();
+  c.fifo_pops++;
+  for (auto d : routes_.input_dest) {
+    const bool ok = slice(d).in_fifo().try_push(b);
+    SNE_ASSERT(ok);
+    c.fifo_pushes++;
+  }
+  c.xbar_beats++;
+  if (routes_.input_dest.size() > 1) c.xbar_broadcast_beats++;
+}
+
+void SneEngine::xbar_slice_moves(hwsim::ActivityCounters& c) {
+  for (std::size_t i = 0; i < routes_.slice_dest.size(); ++i) {
+    const int dest = routes_.slice_dest[i].dest;
+    if (dest == SliceRoute::kToMemory) continue;  // handled by the collector
+    auto& src = slice(static_cast<std::uint32_t>(i)).out_fifo();
+    if (src.empty()) continue;
+    auto& dst = slice(static_cast<std::uint32_t>(dest)).in_fifo();
+    if (dst.full()) continue;
+    const event::Event e = src.pop();
+    c.fifo_pops++;
+    const bool ok = dst.try_push(event::pack(e));
+    SNE_ASSERT(ok);
+    c.fifo_pushes++;
+    c.xbar_beats++;
+  }
+}
+
+void SneEngine::collector_tick(hwsim::ActivityCounters& c) {
+  // "a single DMA can provide significantly more bandwidth than required on
+  // a single SL output port. Therefore, the collector arbitrates between the
+  // SLs output ports and multiplexes them into a single event stream." With
+  // several output DMAs configured, the collector issues one beat per DMA
+  // per cycle (paper IV-A.3's bandwidth-scaling knob).
+  for (auto& dma : out_dmas_) {
+    if (dma.fifo().full()) continue;
+    const int granted = collector_arb_.grant([this](std::size_t i) {
+      if (i >= routes_.slice_dest.size()) return false;
+      if (routes_.slice_dest[i].dest != SliceRoute::kToMemory) return false;
+      return !slices_[i]->out_fifo().empty();
+    });
+    if (granted < 0) return;
+    const event::Event e =
+        slices_[static_cast<std::size_t>(granted)]->out_fifo().pop();
+    c.fifo_pops++;
+    const bool ok = dma.fifo().try_push(event::pack(e));
+    SNE_ASSERT(ok);
+    c.fifo_pushes++;
+    c.xbar_beats++;
+  }
+}
+
+}  // namespace sne::core

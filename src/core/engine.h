@@ -1,0 +1,114 @@
+// SNE top level (paper Fig. 2): slices + C-XBAR + streamers + collector +
+// memory-mapped register interface, driven cycle by cycle until quiescence.
+//
+// The engine is the public entry point of the cycle-accurate model: load a
+// 32-bit program (WLOAD/RST/UPDATE/FIRE beats) into external memory, point
+// the input streamer at it, and run. Events flow
+//
+//   memory -> input DMA -> C-XBAR -> slice(s) -> collector -> output DMA
+//                                        `-> next slice (pipeline mode)
+//
+// and the returned RunResult carries the output event stream plus the
+// activity counters the energy model consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/config.h"
+#include "core/slice.h"
+#include "core/streamer.h"
+#include "core/xbar.h"
+#include "event/event_stream.h"
+#include "hwsim/arbiter.h"
+#include "hwsim/counters.h"
+#include "hwsim/memory.h"
+
+namespace sne::core {
+
+struct RunOptions {
+  std::uint64_t max_cycles = 2'000'000'000ull;  ///< livelock guard
+  event::StreamGeometry out_geometry{};  ///< stamped on the output stream
+};
+
+struct RunResult {
+  event::EventStream output;         ///< everything the output DMA wrote
+  hwsim::ActivityCounters counters;  ///< activity delta of this run
+  std::uint64_t cycles = 0;          ///< clock cycles of this run
+  double sim_time_us = 0.0;          ///< cycles at the configured clock
+
+  /// Output spikes only (UPDATE events, markers stripped).
+  event::EventStream spikes() const {
+    event::EventStream s(output.geometry());
+    for (const auto& e : output.events())
+      if (e.op == event::Op::kUpdate) s.push(e);
+    return s;
+  }
+};
+
+class SneEngine {
+ public:
+  using RunOptions = core::RunOptions;
+  using RunResult = core::RunResult;
+
+  explicit SneEngine(SneConfig cfg, std::size_t memory_words = (1u << 22),
+                     hwsim::MemoryTiming mem_timing = {});
+
+  const SneConfig& config() const { return cfg_; }
+  hwsim::MemoryModel& memory() { return mem_; }
+
+  Slice& slice(std::uint32_t i) {
+    SNE_EXPECTS(i < slices_.size());
+    return *slices_[i];
+  }
+  const Slice& slice(std::uint32_t i) const {
+    SNE_EXPECTS(i < slices_.size());
+    return *slices_[i];
+  }
+
+  /// Programs slice `i` for a layer pass.
+  void configure_slice(std::uint32_t i, const SliceConfig& cfg) {
+    slice(i).configure(cfg);
+  }
+
+  /// Installs the C-XBAR route table for subsequent runs.
+  void set_routes(XbarRoutes routes) {
+    routes.validate(cfg_.num_slices);
+    routes_ = std::move(routes);
+  }
+  const XbarRoutes& routes() const { return routes_; }
+
+  /// Loads `program` into external memory and executes it to quiescence.
+  RunResult run(const std::vector<event::Beat>& program,
+                const RunOptions& opts = RunOptions{});
+
+  /// Convenience: compiles control events into the stream and runs it.
+  RunResult run(const event::EventStream& stream,
+                const RunOptions& opts = RunOptions{},
+                event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly);
+
+  /// Lifetime activity totals (across all runs since construction).
+  const hwsim::ActivityCounters& total_counters() const { return total_; }
+
+ private:
+  void tick(hwsim::ActivityCounters& c);
+  bool quiescent() const;
+  void xbar_input_move(hwsim::ActivityCounters& c);
+  void xbar_slice_moves(hwsim::ActivityCounters& c);
+  void collector_tick(hwsim::ActivityCounters& c);
+
+  SneConfig cfg_;
+  hwsim::MemoryModel mem_;
+  std::vector<std::unique_ptr<Slice>> slices_;
+  InputStreamer in_dma_;
+  std::vector<OutputStreamer> out_dmas_;
+  hwsim::RoundRobinArbiter collector_arb_;
+  XbarRoutes routes_;
+  hwsim::ActivityCounters total_;
+  std::size_t out_region_base_ = 0;
+  std::size_t out_region_words_ = 0;
+};
+
+}  // namespace sne::core

@@ -1,0 +1,129 @@
+// Sequencer: "Execution on all Clusters happens synchronously and is
+// orchestrated by a module called Sequencer. The Sequencer provides the
+// address of the current TDM neuron update" (paper section III-D.4).
+//
+// For an UPDATE event the sequencer emits the TDM addresses whose neurons
+// may have the event in their receptive field. Clusters tile the output map
+// in `tile_w x tile_h` blocks, and all clusters share one address sequence,
+// so the sweep must cover the union (over clusters) of local rows touched by
+// the event's output-side footprint.
+//
+// In the paper's design point (3x3 kernels, 8x8 tiles) this union is at most
+// 6 rows = 48 addresses, which is exactly the constant "48 clock cycles to
+// consume an input event". We model two sequencer variants:
+//  * fixed (paper default): the sweep always lasts `update_sweep_cycles`
+//    cycles; addresses beyond the needed ones are idle slots.
+//  * adaptive (ablation): the sweep emits only the needed rows and ends
+//    early, trading control simplicity for latency.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/config.h"
+#include "core/slice_config.h"
+
+namespace sne::core {
+
+/// Sentinel TDM address meaning "datapath idle this cycle".
+inline constexpr std::uint16_t kIdleSlot = 0xFFFF;
+
+/// Inclusive output-coordinate interval.
+struct Interval {
+  int lo = 0;
+  int hi = -1;  ///< empty when hi < lo
+  bool empty() const { return hi < lo; }
+};
+
+/// Output positions ox such that a kernel tap covers input position ex:
+/// ox*stride - pad + k == ex for some k in [0, kernel). Clamped to
+/// [0, out_extent).
+inline Interval receptive_interval(int e, int kernel, int stride, int pad,
+                                   int out_extent) {
+  SNE_EXPECTS(stride >= 1);
+  // ox >= (e + pad - kernel + 1)/stride (ceil), ox <= (e + pad)/stride (floor)
+  const int num_lo = e + pad - kernel + 1;
+  int lo = num_lo >= 0 ? (num_lo + stride - 1) / stride
+                       : -((-num_lo) / stride);
+  const int num_hi = e + pad;
+  int hi = num_hi >= 0 ? num_hi / stride : -((-num_hi + stride - 1) / stride);
+  lo = std::max(lo, 0);
+  hi = std::min(hi, out_extent - 1);
+  return Interval{lo, hi};
+}
+
+/// Generates the TDM address schedule for one event on one slice.
+class Sequencer {
+ public:
+  explicit Sequencer(const SneConfig& hw) : hw_(&hw) {}
+
+  /// TDM addresses for an UPDATE event at input position (ex, ey).
+  /// The returned schedule has exactly `update_sweep_cycles` entries in
+  /// fixed mode (idle slots appended/used as padding) and only the needed
+  /// entries in adaptive mode. FC events sweep all TDM slots.
+  std::vector<std::uint16_t> update_schedule(const SliceConfig& cfg,
+                                             [[maybe_unused]] int ex,
+                                             int ey) const {
+    const std::uint32_t tile_w = hw_->cluster_tile_width;
+    const std::uint32_t tile_h = hw_->cluster_tile_height();
+    std::vector<std::uint16_t> slots;
+
+    if (cfg.kind == LayerKind::kFc) {
+      slots.reserve(hw_->neurons_per_cluster);
+      for (std::uint32_t a = 0; a < hw_->neurons_per_cluster; ++a)
+        slots.push_back(static_cast<std::uint16_t>(a));
+      return slots;
+    }
+
+    const Interval oy = receptive_interval(ey, cfg.kernel_h, cfg.stride,
+                                           cfg.pad, cfg.out_height);
+    if (oy.empty()) {
+      // No output row is sensitive; fixed mode still burns the full sweep
+      // (the decoder cannot know early), adaptive mode ends immediately.
+      if (!hw_->adaptive_sequencer)
+        slots.assign(hw_->update_sweep_cycles, kIdleSlot);
+      return slots;
+    }
+
+    // Union over clusters of local rows touched by [oy.lo, oy.hi].
+    std::vector<bool> row_used(tile_h, false);
+    for (const ClusterMapping& m : cfg.clusters) {
+      if (!m.enabled) continue;
+      const int band_lo = m.y_base;
+      const int band_hi = m.y_base + static_cast<int>(tile_h) - 1;
+      const int lo = std::max(oy.lo, band_lo);
+      const int hi = std::min(oy.hi, band_hi);
+      for (int gy = lo; gy <= hi; ++gy) row_used[static_cast<std::size_t>(gy - band_lo)] = true;
+    }
+
+    for (std::uint32_t r = 0; r < tile_h; ++r) {
+      if (!row_used[r]) continue;
+      for (std::uint32_t c = 0; c < tile_w; ++c)
+        slots.push_back(static_cast<std::uint16_t>(r * tile_w + c));
+    }
+
+    if (!hw_->adaptive_sequencer) {
+      // Fixed-length sweep: pad to the architectural constant. If geometry
+      // ever needs more (kernel taller than the 6-row budget), correctness
+      // wins and the sweep grows; the energy model sees it via the counters.
+      while (slots.size() < hw_->update_sweep_cycles) slots.push_back(kIdleSlot);
+    }
+    return slots;
+  }
+
+  /// FIRE/RST scans visit every TDM slot once.
+  std::vector<std::uint16_t> full_schedule() const {
+    std::vector<std::uint16_t> slots;
+    slots.reserve(hw_->neurons_per_cluster);
+    for (std::uint32_t a = 0; a < hw_->neurons_per_cluster; ++a)
+      slots.push_back(static_cast<std::uint16_t>(a));
+    return slots;
+  }
+
+ private:
+  const SneConfig* hw_;
+};
+
+}  // namespace sne::core

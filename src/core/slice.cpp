@@ -1,0 +1,384 @@
+#include "core/slice.h"
+
+#include <algorithm>
+
+namespace sne::core {
+
+Slice::Slice(std::uint32_t slice_id, const SneConfig& hw)
+    : id_(slice_id),
+      hw_(&hw),
+      sequencer_(hw),
+      weights_(hw.weight_sets, hw.weights_per_set),
+      in_fifo_(hw.slice_in_fifo_depth),
+      out_fifo_(hw.slice_out_fifo_depth),
+      collector_arb_(hw.clusters_per_slice) {
+  clusters_.reserve(hw.clusters_per_slice);
+  for (std::uint32_t i = 0; i < hw.clusters_per_slice; ++i)
+    clusters_.emplace_back(hw);
+}
+
+void Slice::configure(const SliceConfig& cfg) {
+  cfg.validate(hw_->clusters_per_slice, hw_->weight_sets, hw_->weights_per_set);
+  if (cfg.out_width > event::kMaxX + 1 || cfg.out_height > event::kMaxY + 1)
+    throw ConfigError("output map exceeds the event address space");
+  cfg_ = cfg;
+  for (std::uint32_t i = 0; i < clusters_.size(); ++i)
+    clusters_[i].map = cfg.clusters[i];
+  // The filter buffer is rebuilt per pass: physical geometry for conv and
+  // buffer-resident FC, a virtual stream-backed store for streamed FC
+  // (weights are host-preloaded; streaming cost is charged per event).
+  if (cfg.kind == LayerKind::kFc && cfg.fc_weights_streamed)
+    weights_ = WeightMemory(cfg.fc_pass_positions, cfg.fc_total_outputs());
+  else
+    weights_ = WeightMemory(hw_->weight_sets, hw_->weights_per_set);
+  configured_ = true;
+  state_ = State::kIdle;
+  sweep_pos_ = 0;
+  write_phase_ = false;
+  wload_remaining_ = 0;
+  for (auto& cl : clusters_) cl.out_fifo.clear();
+  in_fifo_.clear();
+  out_fifo_.clear();
+  collector_arb_.reset();
+}
+
+void Slice::tick(hwsim::ActivityCounters& c) {
+  if (!configured_) {
+    // A slice that no pass has programmed is statically idle; routing events
+    // at it is rejected by SneEngine::run.
+    SNE_ASSERT(in_fifo_.empty());
+    return;
+  }
+  tick_collector(c);
+
+  const bool was_busy = state_ != State::kIdle;
+  if (was_busy) {
+    c.slice_busy_cycles++;
+    switch (state_) {
+      case State::kUpdate:
+        tick_update(c);
+        break;
+      case State::kFire:
+        tick_fire(c);
+        break;
+      case State::kReset:
+        tick_reset(c);
+        break;
+      case State::kWeightLoad:
+        tick_wload(c);
+        break;
+      case State::kDrain:
+        tick_drain(c);
+        break;
+      case State::kIdle:
+        break;
+    }
+  }
+
+  // The decoder accepts the next event in the same cycle the datapath
+  // retires the previous one, so back-to-back UPDATE events cost exactly
+  // `update_sweep_cycles` each ("SNE takes 48 clock cycles to consume an
+  // input event", section IV-A.3). A decode from a cold (idle) slice costs
+  // its own cycle (pipeline fill).
+  if (state_ == State::kIdle && !in_fifo_.empty()) {
+    if (!was_busy) c.slice_busy_cycles++;
+    const event::Beat beat = in_fifo_.pop();
+    c.fifo_pops++;
+    decode(event::unpack(beat), c);
+  }
+}
+
+void Slice::decode(const event::Event& e, hwsim::ActivityCounters& c) {
+  current_ = e;
+  sweep_pos_ = 0;
+  write_phase_ = false;
+  switch (e.op) {
+    case event::Op::kUpdate: {
+      bool any = false;
+      for (auto& cl : clusters_) {
+        cl.enabled_for_event = cl.map.enabled && filter_accepts(cl, e);
+        any = any || cl.enabled_for_event;
+      }
+      if (!any) return;  // address filter drops the event at the decoder
+      schedule_ = sequencer_.update_schedule(cfg_, e.x, e.y);
+      if (schedule_.empty()) return;
+      if (cfg_.kind == LayerKind::kFc && cfg_.fc_weights_streamed) {
+        // Streamed FC: the event's weight column (4 bits per mapped output)
+        // rides the second DMA at one 32-bit beat per cycle. The event
+        // occupies the slice for max(TDM sweep, streaming) cycles.
+        std::uint64_t outputs = 0;
+        for (const auto& cl : clusters_) {
+          if (!cl.map.enabled) continue;
+          const std::uint32_t first = cl.map.out_channel;
+          if (first < fc_total_outputs())
+            outputs += std::min<std::uint32_t>(hw_->neurons_per_cluster,
+                                               fc_total_outputs() - first);
+        }
+        const std::uint64_t beats = (outputs * 4 + 31) / 32;
+        c.weight_load_beats += beats;
+        c.dma_read_beats += beats;
+        while (schedule_.size() < beats) schedule_.push_back(kIdleSlot);
+      }
+      c.events_consumed++;
+      state_ = State::kUpdate;
+      break;
+    }
+    case event::Op::kFire: {
+      for (auto& cl : clusters_) cl.enabled_for_event = cl.map.enabled;
+      schedule_ = sequencer_.full_schedule();
+      fired_any_ = false;
+      c.fire_scans++;
+      state_ = State::kFire;
+      break;
+    }
+    case event::Op::kReset: {
+      // "In the case of a RST_OP, all the Clusters are activated" (III-D.4).
+      for (auto& cl : clusters_) cl.enabled_for_event = true;
+      schedule_ = sequencer_.full_schedule();
+      state_ = State::kReset;
+      break;
+    }
+    case event::Op::kWeight: {
+      // Header fields ride the event address fields (see event.h).
+      wload_set_ = e.ch;
+      wload_group_ = e.x;
+      wload_remaining_ = e.t;
+      state_ = wload_remaining_ > 0 ? State::kWeightLoad : State::kIdle;
+      break;
+    }
+  }
+}
+
+void Slice::tick_update(hwsim::ActivityCounters& c) {
+  SNE_EXPECTS(sweep_pos_ < schedule_.size());
+  // Single-buffered state memory needs separate read and write cycles; the
+  // paper's double-buffered latch memories achieve one update per cycle.
+  if (!hw_->double_buffered_state && !write_phase_) {
+    write_phase_ = true;
+    for (const auto& cl : clusters_) {
+      if (!cl.map.enabled) continue;
+      if (cl.enabled_for_event)
+        c.active_cluster_cycles++;
+      else if (hw_->clock_gating)
+        c.gated_cluster_cycles++;
+      else
+        c.active_cluster_cycles++;
+    }
+    return;
+  }
+  write_phase_ = false;
+
+  const std::uint16_t slot = schedule_[sweep_pos_];
+  for (auto& cl : clusters_) {
+    if (!cl.map.enabled) continue;
+    if (!cl.enabled_for_event) {
+      // Clusters outside the event's address filter: clock-gated when the
+      // feature is on, otherwise they burn datapath power doing nothing.
+      if (hw_->clock_gating)
+        c.gated_cluster_cycles++;
+      else
+        c.active_cluster_cycles++;
+      continue;
+    }
+    c.active_cluster_cycles++;
+    if (slot == kIdleSlot) continue;
+    const auto w = weight_for(cl, slot);
+    if (!w.has_value()) continue;  // address in sweep but outside this RF
+    cl.neurons[slot].integrate(current_.t, *w, cfg_.lif);
+    c.neuron_updates++;
+    c.state_reads++;
+    c.state_writes++;
+  }
+
+  if (++sweep_pos_ >= schedule_.size()) state_ = State::kIdle;
+}
+
+void Slice::tick_fire(hwsim::ActivityCounters& c) {
+  SNE_EXPECTS(sweep_pos_ < schedule_.size());
+  const std::uint16_t slot = schedule_[sweep_pos_];
+
+  // Two-phase commit: all clusters evaluate the firing condition; if any
+  // cluster that needs to emit has a full output FIFO, the whole synchronous
+  // sweep stalls this cycle (the per-cluster FIFOs exist precisely to make
+  // this rare, paper III-D.4).
+  bool stalled = false;
+  for (auto& cl : clusters_) {
+    if (!cl.map.enabled) continue;
+    if (!output_event(cl, slot, current_.t).has_value()) continue;
+    const auto& n = cl.neurons[slot];
+    const std::int32_t v = neuron::leaked(
+        n.membrane(), cfg_.lif.leak,
+        current_.t >= n.last_update() ? current_.t - n.last_update() : 0,
+        cfg_.lif.leak_mode);
+    if (v > cfg_.lif.v_th && cl.out_fifo.full()) {
+      stalled = true;
+      break;
+    }
+  }
+  if (stalled) {
+    c.fifo_stall_cycles++;
+    return;  // retry the same TDM address next cycle
+  }
+
+  for (auto& cl : clusters_) {
+    if (!cl.map.enabled) continue;
+    const auto out = output_event(cl, slot, current_.t);
+    if (!out.has_value()) continue;  // slot not mapped to a real neuron
+    c.fire_checks++;
+    c.state_reads++;
+    c.state_writes++;
+    c.active_cluster_cycles++;
+    if (cl.neurons[slot].fire(current_.t, cfg_.lif)) {
+      const bool ok = cl.out_fifo.try_push(*out);
+      SNE_ASSERT(ok);  // guaranteed by the stall check above
+      c.fifo_pushes++;
+      c.output_events++;
+      fired_any_ = true;
+    }
+  }
+
+  if (++sweep_pos_ >= schedule_.size()) state_ = State::kDrain;
+}
+
+void Slice::tick_reset(hwsim::ActivityCounters& c) {
+  SNE_EXPECTS(sweep_pos_ < schedule_.size());
+  const std::uint16_t slot = schedule_[sweep_pos_];
+  for (auto& cl : clusters_) {
+    cl.neurons[slot].reset();
+    c.neuron_resets++;
+    c.state_writes++;
+    c.active_cluster_cycles++;
+  }
+  if (++sweep_pos_ >= schedule_.size()) {
+    fired_any_ = true;  // RST markers always propagate downstream
+    state_ = State::kDrain;
+  }
+}
+
+void Slice::tick_wload(hwsim::ActivityCounters& c) {
+  SNE_EXPECTS(wload_remaining_ > 0);
+  if (in_fifo_.empty()) return;  // wait for the streamer
+  const event::Beat payload = in_fifo_.pop();
+  c.fifo_pops++;
+  weights_.write_beat(wload_set_, wload_group_, payload);
+  c.weight_load_beats++;
+  ++wload_group_;
+  if (--wload_remaining_ == 0) state_ = State::kIdle;
+}
+
+void Slice::tick_drain(hwsim::ActivityCounters& c) {
+  // Wait until every spike of the completed scan has been collected, then
+  // emit the time-synchronization marker (FIRE with the scan's timestep, or
+  // RST) so downstream consumers observe a time-ordered stream.
+  for (const auto& cl : clusters_)
+    if (!cl.out_fifo.empty()) return;
+  if (current_.op == event::Op::kFire && !fired_any_) {
+    // No spikes at this timestep: downstream layers cannot fire either
+    // (non-negative thresholds), so the marker is elided — the stream-level
+    // counterpart of the TLU skip.
+    state_ = State::kIdle;
+    return;
+  }
+  if (out_fifo_.full()) return;
+  event::Event marker = current_;
+  const bool ok = out_fifo_.try_push(marker);
+  SNE_ASSERT(ok);
+  c.fifo_pushes++;
+  state_ = State::kIdle;
+}
+
+void Slice::tick_collector(hwsim::ActivityCounters& c) {
+  if (out_fifo_.full()) return;
+  const int granted = collector_arb_.grant([this](std::size_t i) {
+    return !clusters_[i].out_fifo.empty();
+  });
+  if (granted < 0) return;
+  const event::Event e = clusters_[static_cast<std::size_t>(granted)].out_fifo.pop();
+  c.fifo_pops++;
+  const bool ok = out_fifo_.try_push(e);
+  SNE_ASSERT(ok);
+  c.fifo_pushes++;
+}
+
+bool Slice::filter_accepts(const Cluster& cl, const event::Event& e) const {
+  if (e.ch >= cfg_.in_channels || e.x >= cfg_.in_width || e.y >= cfg_.in_height)
+    return false;
+  if (cfg_.kind == LayerKind::kFc) {
+    const std::uint32_t flat = cfg_.fc_flat_index(e.ch, e.x, e.y);
+    return flat >= cfg_.fc_pass_base &&
+           flat < cfg_.fc_pass_base + cfg_.fc_pass_positions;
+  }
+  if (cfg_.depthwise && cl.map.out_channel != e.ch) return false;
+  const Interval ox = receptive_interval(e.x, cfg_.kernel_w, cfg_.stride,
+                                         cfg_.pad, cfg_.out_width);
+  const Interval oy = receptive_interval(e.y, cfg_.kernel_h, cfg_.stride,
+                                         cfg_.pad, cfg_.out_height);
+  if (ox.empty() || oy.empty()) return false;
+  const int tile_w = static_cast<int>(hw_->cluster_tile_width);
+  const int tile_h = static_cast<int>(hw_->cluster_tile_height());
+  const bool x_hit = ox.hi >= cl.map.x_base && ox.lo < cl.map.x_base + tile_w;
+  const bool y_hit = oy.hi >= cl.map.y_base && oy.lo < cl.map.y_base + tile_h;
+  return x_hit && y_hit;
+}
+
+std::optional<std::int32_t> Slice::weight_for(const Cluster& cl,
+                                              std::uint16_t slot) const {
+  const std::uint32_t tile_w = hw_->cluster_tile_width;
+  if (cfg_.kind == LayerKind::kFc) {
+    const std::uint32_t id = cl.map.out_channel + slot;
+    if (id >= fc_total_outputs()) return std::nullopt;
+    const std::uint32_t flat =
+        cfg_.fc_flat_index(current_.ch, current_.x, current_.y);
+    const std::uint32_t local = flat - cfg_.fc_pass_base;
+    if (cfg_.fc_weights_streamed) return weights_.read(local, id);
+    const std::uint32_t cluster_index =
+        static_cast<std::uint32_t>(&cl - clusters_.data());
+    const std::uint32_t set = local * hw_->clusters_per_slice + cluster_index;
+    return weights_.read(set, slot);
+  }
+  const int lx = static_cast<int>(slot % tile_w);
+  const int ly = static_cast<int>(slot / tile_w);
+  const int ox = cl.map.x_base + lx;
+  const int oy = cl.map.y_base + ly;
+  if (ox >= cfg_.out_width || oy >= cfg_.out_height) return std::nullopt;
+  const int kx = current_.x + cfg_.pad - ox * cfg_.stride;
+  const int ky = current_.y + cfg_.pad - oy * cfg_.stride;
+  if (kx < 0 || kx >= cfg_.kernel_w || ky < 0 || ky >= cfg_.kernel_h)
+    return std::nullopt;
+  const std::uint32_t set =
+      cfg_.depthwise ? 0u
+                     : static_cast<std::uint32_t>(current_.ch) *
+                               cfg_.oc_per_slice +
+                           cl.map.oc_slot;
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(ky) * cfg_.kernel_w +
+      static_cast<std::uint32_t>(kx);
+  return weights_.read(set, idx);
+}
+
+std::optional<event::Event> Slice::output_event(const Cluster& cl,
+                                                std::uint16_t slot,
+                                                std::uint16_t t) const {
+  const std::uint32_t tile_w = hw_->cluster_tile_width;
+  if (cfg_.kind == LayerKind::kFc) {
+    const std::uint32_t id = cl.map.out_channel + slot;
+    if (id >= fc_total_outputs()) return std::nullopt;
+    const std::uint32_t per_ch =
+        static_cast<std::uint32_t>(cfg_.out_width) * cfg_.out_height;
+    const std::uint32_t ch = id / per_ch;
+    const std::uint32_t rem = id % per_ch;
+    return event::Event::update(t, static_cast<std::uint16_t>(ch),
+                                static_cast<std::uint8_t>(rem % cfg_.out_width),
+                                static_cast<std::uint8_t>(rem / cfg_.out_width));
+  }
+  const std::uint32_t lx = slot % tile_w;
+  const std::uint32_t ly = slot / tile_w;
+  const std::uint32_t ox = cl.map.x_base + lx;
+  const std::uint32_t oy = cl.map.y_base + ly;
+  if (ox >= cfg_.out_width || oy >= cfg_.out_height) return std::nullopt;
+  return event::Event::update(t, cl.map.out_channel,
+                              static_cast<std::uint8_t>(ox),
+                              static_cast<std::uint8_t>(oy));
+}
+
+}  // namespace sne::core

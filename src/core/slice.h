@@ -1,0 +1,151 @@
+// SNE slice: one of the parallel processing engines (paper section III-D.4).
+//
+// A slice contains 16 cluster datapaths, each computing one LIF neuron state
+// update per clock cycle over 64 time-domain-multiplexed neurons held in
+// local double-buffered latch memories. The slice front-end decodes event
+// operations, an address filter selectively enables clusters (the rest are
+// clock-gated), the sequencer drives the synchronous TDM sweep, and a local
+// collector merges the per-cluster output FIFOs into the slice's C-XBAR
+// master port.
+//
+// Cycle model (one tick() per clock):
+//   IDLE        pop + decode one event from the input FIFO      (1 cycle)
+//   UPDATE      sweep `update_sweep_cycles` TDM slots            (48 cycles)
+//   FIRE        sweep all TDM slots; stall on full cluster FIFO  (>= 64)
+//   RESET       wipe all TDM slots                               (64 cycles)
+//   WLOAD       consume one weight payload beat per cycle
+//   DRAIN       after FIRE: wait for cluster FIFOs to empty, then emit the
+//               time-synchronization FIRE marker downstream
+//
+// Functional semantics are delegated to neuron::LifNeuron, the same code the
+// golden model executes — the slice adds only *when* things happen and what
+// they cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/contracts.h"
+#include "core/config.h"
+#include "core/sequencer.h"
+#include "core/slice_config.h"
+#include "core/weight_memory.h"
+#include "event/event.h"
+#include "hwsim/arbiter.h"
+#include "hwsim/counters.h"
+#include "hwsim/fifo.h"
+#include "neuron/lif.h"
+
+namespace sne::core {
+
+/// One cluster: 64 TDM LIF neurons + output event FIFO + static mapping.
+struct Cluster {
+  explicit Cluster(const SneConfig& hw)
+      : neurons(hw.neurons_per_cluster), out_fifo(hw.cluster_fifo_depth) {}
+
+  std::vector<neuron::LifNeuron> neurons;
+  hwsim::Fifo<event::Event> out_fifo;
+  ClusterMapping map;
+  bool enabled_for_event = false;  ///< address-filter result for current event
+};
+
+class Slice {
+ public:
+  Slice(std::uint32_t slice_id, const SneConfig& hw);
+
+  std::uint32_t id() const { return id_; }
+
+  /// Programs the slice for a layer pass (Listing 1's `program_sne`).
+  /// Weight contents are loaded separately (WLOAD beats or load_weights).
+  void configure(const SliceConfig& cfg);
+
+  /// Host-side bulk weight load (bypasses the streamed WLOAD path; tests
+  /// cover the equivalence of both paths).
+  WeightMemory& weights() { return weights_; }
+  const WeightMemory& weights() const { return weights_; }
+
+  const SliceConfig& config() const { return cfg_; }
+  bool configured() const { return configured_; }
+
+  /// Input (C-XBAR slave) FIFO; carries raw 32-bit beats because WLOAD
+  /// payload words are not events.
+  hwsim::Fifo<event::Beat>& in_fifo() { return in_fifo_; }
+  const hwsim::Fifo<event::Beat>& in_fifo() const { return in_fifo_; }
+  /// Output (C-XBAR master) FIFO of decoded events.
+  hwsim::Fifo<event::Event>& out_fifo() { return out_fifo_; }
+  const hwsim::Fifo<event::Event>& out_fifo() const { return out_fifo_; }
+
+  bool busy() const { return state_ != State::kIdle || !in_fifo_.empty(); }
+  bool idle() const { return !busy(); }
+
+  /// Advances one clock cycle.
+  void tick(hwsim::ActivityCounters& c);
+
+  /// Direct membrane inspection (verification only).
+  std::int32_t membrane(std::uint32_t cluster, std::uint32_t slot) const {
+    SNE_EXPECTS(cluster < clusters_.size());
+    SNE_EXPECTS(slot < clusters_[cluster].neurons.size());
+    return clusters_[cluster].neurons[slot].membrane();
+  }
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kUpdate,
+    kFire,
+    kReset,
+    kWeightLoad,
+    kDrain,
+  };
+
+  void decode(const event::Event& e, hwsim::ActivityCounters& c);
+  void tick_update(hwsim::ActivityCounters& c);
+  void tick_fire(hwsim::ActivityCounters& c);
+  void tick_reset(hwsim::ActivityCounters& c);
+  void tick_wload(hwsim::ActivityCounters& c);
+  void tick_drain(hwsim::ActivityCounters& c);
+  void tick_collector(hwsim::ActivityCounters& c);
+
+  /// Address filter: does `e`'s receptive footprint intersect the cluster's
+  /// tile? (Conv mode; FC mode filters on the pass's position chunk.)
+  bool filter_accepts(const Cluster& cl, const event::Event& e) const;
+
+  /// Weight for cluster `cl`, TDM slot `slot`, given current UPDATE event.
+  /// Returns nullopt when the slot's neuron is not in the receptive field.
+  std::optional<std::int32_t> weight_for(const Cluster& cl,
+                                         std::uint16_t slot) const;
+
+  /// Output event emitted by `cl` when TDM slot `slot` fires at time t.
+  std::optional<event::Event> output_event(const Cluster& cl,
+                                           std::uint16_t slot,
+                                           std::uint16_t t) const;
+
+  std::uint32_t fc_total_outputs() const { return cfg_.fc_total_outputs(); }
+
+  std::uint32_t id_;
+  const SneConfig* hw_;
+  SliceConfig cfg_;
+  bool configured_ = false;
+
+  Sequencer sequencer_;
+  WeightMemory weights_;
+  std::vector<Cluster> clusters_;
+  hwsim::Fifo<event::Beat> in_fifo_;
+  hwsim::Fifo<event::Event> out_fifo_;
+  hwsim::RoundRobinArbiter collector_arb_;
+
+  State state_ = State::kIdle;
+  event::Event current_{};                 ///< event being executed
+  std::vector<std::uint16_t> schedule_;    ///< TDM sweep for current op
+  std::size_t sweep_pos_ = 0;
+  bool write_phase_ = false;   ///< single-buffered state: 2-cycle updates
+  std::uint32_t wload_remaining_ = 0;
+  std::uint32_t wload_set_ = 0;
+  std::uint32_t wload_group_ = 0;
+  bool fired_any_ = false;     ///< spikes emitted during current FIRE scan
+};
+
+}  // namespace sne::core

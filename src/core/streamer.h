@@ -1,0 +1,107 @@
+// Streamers: "DMAs autonomously transfer events and weights from the main
+// memory to the SNE internal buffers and vice versa. ... they also operate
+// the conversion between the event memory format and event stream format.
+// The DMA contains a 16-words FIFO event memory to absorb memory latency
+// cycles" (paper section III-D.2).
+//
+// Both directions implement a simple 1-D movement scheme over 32-bit words.
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.h"
+#include "event/event.h"
+#include "hwsim/counters.h"
+#include "hwsim/fifo.h"
+#include "hwsim/memory.h"
+
+namespace sne::core {
+
+/// Memory -> stream direction.
+class InputStreamer {
+ public:
+  InputStreamer(hwsim::MemoryModel& mem, std::uint32_t fifo_depth)
+      : mem_(&mem), fifo_(fifo_depth) {}
+
+  /// Programs a 1-D transfer of `count` words starting at `base`.
+  void start(std::size_t base, std::size_t count) {
+    SNE_EXPECTS(base + count <= mem_->size());
+    base_ = base;
+    remaining_ = count;
+    cursor_ = 0;
+    wait_ = remaining_ > 0 ? mem_->next_word_delay(/*first_of_burst=*/true) : 0;
+  }
+
+  bool transfer_done() const { return remaining_ == 0; }
+  bool fully_drained() const { return transfer_done() && fifo_.empty(); }
+  hwsim::Fifo<event::Beat>& fifo() { return fifo_; }
+  const hwsim::Fifo<event::Beat>& fifo() const { return fifo_; }
+
+  /// One clock cycle: fetches at most one word from memory into the FIFO,
+  /// honouring access latency and backpressure.
+  void tick(hwsim::ActivityCounters& c) {
+    if (remaining_ == 0) return;
+    if (wait_ > 1) {
+      --wait_;
+      return;
+    }
+    if (fifo_.full()) return;  // backpressure: hold the burst
+    const event::Beat b = mem_->read_word(base_ + cursor_);
+    const bool ok = fifo_.try_push(b);
+    SNE_ASSERT(ok);
+    c.fifo_pushes++;
+    c.dma_read_beats++;
+    ++cursor_;
+    --remaining_;
+    wait_ = remaining_ > 0 ? mem_->next_word_delay(/*first_of_burst=*/false) : 0;
+  }
+
+ private:
+  hwsim::MemoryModel* mem_;
+  hwsim::Fifo<event::Beat> fifo_;
+  std::size_t base_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint32_t wait_ = 0;
+};
+
+/// Stream -> memory direction.
+class OutputStreamer {
+ public:
+  OutputStreamer(hwsim::MemoryModel& mem, std::uint32_t fifo_depth)
+      : mem_(&mem), fifo_(fifo_depth) {}
+
+  /// Programs the linear destination region.
+  void start(std::size_t base, std::size_t capacity) {
+    SNE_EXPECTS(base + capacity <= mem_->size());
+    base_ = base;
+    capacity_ = capacity;
+    written_ = 0;
+  }
+
+  hwsim::Fifo<event::Beat>& fifo() { return fifo_; }
+  const hwsim::Fifo<event::Beat>& fifo() const { return fifo_; }
+  std::size_t written() const { return written_; }
+  bool drained() const { return fifo_.empty(); }
+
+  /// One clock cycle: writes at most one word to memory (posted writes; the
+  /// write latency is hidden behind the FIFO, as in the RTL).
+  void tick(hwsim::ActivityCounters& c) {
+    if (fifo_.empty()) return;
+    if (written_ >= capacity_)
+      throw ConfigError("output stream overflowed its memory region");
+    mem_->write_word(base_ + written_, fifo_.pop());
+    c.fifo_pops++;
+    c.dma_write_beats++;
+    ++written_;
+  }
+
+ private:
+  hwsim::MemoryModel* mem_;
+  hwsim::Fifo<event::Beat> fifo_;
+  std::size_t base_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t written_ = 0;
+};
+
+}  // namespace sne::core

@@ -1,0 +1,88 @@
+// C-XBAR: "routes both streams of events and weights from the main memory to
+// the slices or vice versa ... [it] can operate in two distinct modes:
+// i) single master to single slave port (point-to-point) ... ii) single
+// master to multiple slave ports (broadcast); in this configuration, the
+// C-XBAR can perform flow control and pause the transaction until all slave
+// ports have received the event" (paper section III-D.1).
+//
+// The route table captures the two operating modes of section III-D.5:
+//  * time-multiplexed: input streamer broadcast to all active slices, every
+//    slice output routed to memory through the collector;
+//  * pipeline: input streamer point-to-point into the first slice, each
+//    slice's master port routed to the next slice's slave port, last slice
+//    to memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace sne::core {
+
+/// Destination of a slice's master port.
+struct SliceRoute {
+  static constexpr int kToMemory = -1;  ///< via collector to the output DMA
+  int dest = kToMemory;                 ///< slice id, or kToMemory
+};
+
+struct XbarRoutes {
+  /// Slices receiving the input streamer's beats (broadcast when > 1).
+  std::vector<std::uint32_t> input_dest;
+  /// Per-slice master-port destination.
+  std::vector<SliceRoute> slice_dest;
+
+  /// Time-multiplexed mode over `active` slices.
+  static XbarRoutes time_multiplexed(std::uint32_t active_slices) {
+    SNE_EXPECTS(active_slices > 0);
+    XbarRoutes r;
+    for (std::uint32_t i = 0; i < active_slices; ++i) {
+      r.input_dest.push_back(i);
+      r.slice_dest.push_back(SliceRoute{SliceRoute::kToMemory});
+    }
+    return r;
+  }
+
+  /// Pipeline mode: slice i feeds slice i+1; the last slice feeds memory.
+  static XbarRoutes pipeline(std::uint32_t stages) {
+    SNE_EXPECTS(stages > 0);
+    XbarRoutes r;
+    r.input_dest.push_back(0);
+    for (std::uint32_t i = 0; i < stages; ++i) {
+      const bool last = (i + 1 == stages);
+      r.slice_dest.push_back(
+          SliceRoute{last ? SliceRoute::kToMemory : static_cast<int>(i + 1)});
+    }
+    return r;
+  }
+
+  void validate(std::uint32_t num_slices) const {
+    if (input_dest.empty())
+      throw ConfigError("C-XBAR input route must target at least one slice");
+    for (auto d : input_dest)
+      if (d >= num_slices) throw ConfigError("C-XBAR input route out of range");
+    if (slice_dest.size() > num_slices)
+      throw ConfigError("C-XBAR has more slice routes than slices");
+    for (std::size_t i = 0; i < slice_dest.size(); ++i) {
+      const int d = slice_dest[i].dest;
+      if (d != SliceRoute::kToMemory &&
+          (d < 0 || static_cast<std::uint32_t>(d) >= num_slices))
+        throw ConfigError("C-XBAR slice route out of range");
+      if (d == static_cast<int>(i))
+        throw ConfigError("C-XBAR route must not loop a slice to itself");
+    }
+    // Reject routing cycles (a ring of full FIFOs could deadlock); the
+    // pipeline topology the paper describes is a chain.
+    for (std::size_t start = 0; start < slice_dest.size(); ++start) {
+      int hops = 0;
+      int cur = static_cast<int>(start);
+      while (cur != SliceRoute::kToMemory) {
+        cur = slice_dest[static_cast<std::size_t>(cur)].dest;
+        if (++hops > static_cast<int>(slice_dest.size()))
+          throw ConfigError("C-XBAR slice routes form a cycle");
+      }
+    }
+  }
+};
+
+}  // namespace sne::core

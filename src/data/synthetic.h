@@ -1,0 +1,86 @@
+// Synthetic event-based datasets.
+//
+// The paper evaluates on IBM DVS-Gesture and NMNIST, neither of which can be
+// redistributed here. These generators produce the closest synthetic
+// equivalents that exercise the same code paths:
+//
+//  * SyntheticGesture — 11 classes of moving-blob trajectories inspired by
+//    the DVS-Gesture vocabulary (claps, rotations, rolls, drums, ...). A
+//    bright blob (or pair) follows a class-specific parametric trajectory;
+//    its leading edge emits ON-polarity events (channel 0) and its trailing
+//    edge OFF-polarity events (channel 1), plus Poisson background noise —
+//    the same two-channel sparse spatio-temporal structure a DVS produces.
+//
+//  * SyntheticNMnist — 10 digit classes; a glyph bitmap performs the
+//    N-MNIST three-saccade triangular micro-motion, emitting polarity events
+//    along the moving edges.
+//
+// Event rates are configured to land in the activity band the paper measures
+// on DVS-Gesture (1.2% - 4.9% mean network activity). All randomness is
+// seeded; the same config yields the identical dataset on every run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/event_stream.h"
+
+namespace sne::data {
+
+/// One labeled event stream.
+struct Sample {
+  event::EventStream stream;
+  std::uint16_t label = 0;
+};
+
+struct DatasetSplit;
+
+/// A labeled dataset plus its split protocol.
+struct Dataset {
+  std::vector<Sample> samples;
+  event::StreamGeometry geometry;
+  std::uint16_t classes = 0;
+
+  /// Deterministic shuffled split by fractions (paper: 65/10/25 for
+  /// DVS-Gesture, 75/10/15 for NMNIST).
+  DatasetSplit split(double train_frac, double val_frac,
+                     std::uint64_t seed) const;
+
+  double mean_activity() const;
+};
+
+struct DatasetSplit {
+  Dataset train, val, test;
+};
+
+/// Uniform random stream at a target activity (test/bench stimulus).
+event::EventStream random_stream(event::StreamGeometry g, double activity,
+                                 std::uint64_t seed);
+
+struct GestureConfig {
+  std::uint8_t width = 32;
+  std::uint8_t height = 32;
+  std::uint16_t timesteps = 50;
+  std::uint16_t classes = 11;       ///< DVS-Gesture vocabulary size
+  std::uint16_t samples_per_class = 8;
+  double blob_rate = 12.0;          ///< mean foreground events per step per blob
+  double noise_rate = 0.5;          ///< mean background events per step
+  std::uint64_t seed = 0x5E5E0001;
+};
+
+Dataset make_gesture_dataset(const GestureConfig& cfg);
+
+struct NmnistConfig {
+  std::uint8_t width = 34;          ///< N-MNIST sensor crop
+  std::uint8_t height = 34;
+  std::uint16_t timesteps = 60;     ///< 3 saccades x 20 steps
+  std::uint16_t samples_per_class = 8;
+  double edge_rate = 18.0;          ///< mean events per step along glyph pixels
+  double noise_rate = 0.5;
+  std::uint64_t seed = 0x5E5E0002;
+};
+
+Dataset make_nmnist_dataset(const NmnistConfig& cfg);
+
+}  // namespace sne::data

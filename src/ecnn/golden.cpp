@@ -1,0 +1,156 @@
+#include "ecnn/golden.h"
+
+#include <algorithm>
+
+#include "core/sequencer.h"  // receptive_interval (shared with the hardware)
+#include "neuron/lif.h"
+
+namespace sne::ecnn {
+
+namespace {
+
+/// Geometry of a layer's output as an event address space.
+event::StreamGeometry out_geometry(const QuantizedLayerSpec& l,
+                                   std::uint16_t timesteps) {
+  event::StreamGeometry g;
+  if (l.type == LayerSpec::Type::kFc) {
+    const FcShape s = fc_shape(l.out_ch);
+    g.channels = s.channels;
+    g.width = static_cast<std::uint8_t>(s.width);
+    g.height = static_cast<std::uint8_t>(s.height);
+  } else {
+    g.channels = l.out_ch;
+    g.width = static_cast<std::uint8_t>(l.out_w());
+    g.height = static_cast<std::uint8_t>(l.out_h());
+  }
+  g.timesteps = timesteps;
+  return g;
+}
+
+}  // namespace
+
+GoldenExecutor::LayerTrace GoldenExecutor::run_layer(
+    const QuantizedLayerSpec& layer, const event::EventStream& input,
+    event::FirePolicy policy) {
+  layer.lif.validate();
+  const event::StreamGeometry in_g = input.geometry();
+  const std::uint16_t T = in_g.timesteps;
+
+  LayerTrace trace;
+  trace.input_events = input.update_count();
+  trace.input_activity = input.activity();
+  trace.output = event::EventStream(out_geometry(layer, T));
+
+  std::vector<neuron::LifNeuron> neurons(layer.out_flat());
+
+  // Group UPDATE events by timestep (stream order preserved within a step —
+  // saturating integration is order-sensitive, and the engine sees the same
+  // order).
+  std::vector<std::vector<event::Event>> by_step(T);
+  for (const event::Event& e : input.events()) {
+    if (e.op != event::Op::kUpdate) continue;
+    SNE_EXPECTS(e.t < T);
+    by_step[e.t].push_back(e);
+  }
+
+  const std::uint16_t out_w = layer.out_w();
+  const std::uint16_t out_h = layer.out_h();
+  const event::StreamGeometry og = trace.output.geometry();
+
+  for (std::uint16_t t = 0; t < T; ++t) {
+    const bool active = !by_step[t].empty();
+    for (const event::Event& e : by_step[t]) {
+      if (e.ch >= layer.in_ch || e.x >= layer.in_w || e.y >= layer.in_h)
+        continue;  // outside the layer's address space: filtered
+      if (layer.type == LayerSpec::Type::kFc) {
+        const std::uint32_t in_flat =
+            (static_cast<std::uint32_t>(e.ch) * layer.in_h + e.y) * layer.in_w +
+            e.x;
+        for (std::uint32_t o = 0; o < layer.out_ch; ++o) {
+          neurons[o].integrate(t, layer.fc_weight(o, in_flat), layer.lif);
+          trace.updates++;
+        }
+        continue;
+      }
+      const core::Interval rx = core::receptive_interval(
+          e.x, layer.kernel, layer.stride, layer.pad, out_w);
+      const core::Interval ry = core::receptive_interval(
+          e.y, layer.kernel, layer.stride, layer.pad, out_h);
+      if (rx.empty() || ry.empty()) continue;
+      const bool depthwise = layer.type == LayerSpec::Type::kPool;
+      for (std::uint32_t oc = 0; oc < layer.out_ch; ++oc) {
+        if (depthwise && oc != e.ch) continue;
+        for (int oy = ry.lo; oy <= ry.hi; ++oy) {
+          const int ky = e.y + layer.pad - oy * layer.stride;
+          for (int ox = rx.lo; ox <= rx.hi; ++ox) {
+            const int kx = e.x + layer.pad - ox * layer.stride;
+            const std::int32_t w = layer.conv_weight(
+                oc, e.ch, static_cast<std::uint32_t>(ky),
+                static_cast<std::uint32_t>(kx));
+            const std::size_t idx =
+                (static_cast<std::size_t>(oc) * out_h +
+                 static_cast<std::size_t>(oy)) *
+                    out_w +
+                static_cast<std::size_t>(ox);
+            neurons[idx].integrate(t, w, layer.lif);
+            trace.updates++;
+          }
+        }
+      }
+    }
+
+    if (policy == event::FirePolicy::kActiveStepsOnly && !active) continue;
+
+    // FIRE scan: index order is the canonical output order.
+    for (std::size_t idx = 0; idx < neurons.size(); ++idx) {
+      if (!neurons[idx].fire(t, layer.lif)) continue;
+      event::Event out;
+      if (layer.type == LayerSpec::Type::kFc) {
+        const std::uint32_t per_ch =
+            static_cast<std::uint32_t>(og.width) * og.height;
+        out = event::Event::update(
+            t, static_cast<std::uint16_t>(idx / per_ch),
+            static_cast<std::uint8_t>((idx % per_ch) % og.width),
+            static_cast<std::uint8_t>((idx % per_ch) / og.width));
+      } else {
+        const std::size_t per_ch = static_cast<std::size_t>(out_w) * out_h;
+        out = event::Event::update(
+            t, static_cast<std::uint16_t>(idx / per_ch),
+            static_cast<std::uint8_t>((idx % per_ch) % out_w),
+            static_cast<std::uint8_t>((idx % per_ch) / out_w));
+      }
+      trace.output.push(out);
+      trace.output_events++;
+    }
+  }
+  return trace;
+}
+
+std::vector<GoldenExecutor::LayerTrace> GoldenExecutor::run_network(
+    const QuantizedNetwork& net, const event::EventStream& input,
+    event::FirePolicy policy) {
+  SNE_EXPECTS(!net.layers.empty());
+  std::vector<LayerTrace> traces;
+  traces.reserve(net.layers.size());
+  const event::EventStream* current = &input;
+  for (const QuantizedLayerSpec& layer : net.layers) {
+    traces.push_back(run_layer(layer, *current, policy));
+    current = &traces.back().output;
+  }
+  return traces;
+}
+
+std::vector<std::uint32_t> GoldenExecutor::class_spike_counts(
+    const event::EventStream& final_output, std::uint16_t classes) {
+  std::vector<std::uint32_t> counts(classes, 0);
+  const auto& g = final_output.geometry();
+  for (const event::Event& e : final_output.events()) {
+    if (e.op != event::Op::kUpdate) continue;
+    const std::uint32_t id =
+        (static_cast<std::uint32_t>(e.ch) * g.height + e.y) * g.width + e.x;
+    if (id < classes) counts[id]++;
+  }
+  return counts;
+}
+
+}  // namespace sne::ecnn

@@ -1,0 +1,46 @@
+// Golden (bit-true software) executor for quantized eCNNs.
+//
+// Evaluates the SNE-LIF-4b dynamics directly on event streams, with no
+// notion of slices, sweeps or FIFOs. The cycle-accurate engine must produce
+// exactly this spike train for any layer and stimulus — that equivalence is
+// the backbone of the test suite. Both paths share neuron::LifNeuron and
+// core::receptive_interval, so a divergence can only come from the
+// microarchitectural bookkeeping, which is precisely what the tests pin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecnn/quantized.h"
+#include "event/event_stream.h"
+
+namespace sne::ecnn {
+
+class GoldenExecutor {
+ public:
+  struct LayerTrace {
+    event::EventStream output;       ///< spikes (UPDATE events) of this layer
+    std::size_t input_events = 0;
+    std::size_t output_events = 0;
+    std::uint64_t updates = 0;       ///< synaptic operations performed
+    double input_activity = 0.0;     ///< spikes / spatio-temporal volume
+  };
+
+  /// Executes one layer on `input` (UPDATE events only are consumed).
+  static LayerTrace run_layer(const QuantizedLayerSpec& layer,
+                              const event::EventStream& input,
+                              event::FirePolicy policy =
+                                  event::FirePolicy::kActiveStepsOnly);
+
+  /// Executes the whole network; trace i is layer i's output.
+  static std::vector<LayerTrace> run_network(
+      const QuantizedNetwork& net, const event::EventStream& input,
+      event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly);
+
+  /// Per-class spike counts of the final layer (classification readout:
+  /// the predicted class is the output neuron with the most spikes).
+  static std::vector<std::uint32_t> class_spike_counts(
+      const event::EventStream& final_output, std::uint16_t classes);
+};
+
+}  // namespace sne::ecnn

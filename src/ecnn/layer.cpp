@@ -1,0 +1,51 @@
+#include "ecnn/layer.h"
+
+namespace sne::ecnn {
+
+void Network::validate() const {
+  if (layers.empty()) throw ConfigError("network has no layers");
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    layers[i].validate();
+    if (i == 0) continue;
+    const LayerSpec& prev = layers[i - 1];
+    const LayerSpec& cur = layers[i];
+    bool geom_ok;
+    if (prev.type == LayerSpec::Type::kFc) {
+      // An FC layer emits events shaped by fc_shape(out_ch); the consumer's
+      // input geometry must match that shaping exactly, or event addresses
+      // would decode to the wrong flat index.
+      const FcShape s = fc_shape(prev.out_ch);
+      geom_ok = cur.in_ch == s.channels && cur.in_w == s.width &&
+                cur.in_h == s.height;
+    } else {
+      geom_ok = cur.in_ch == prev.out_ch && cur.in_w == prev.out_w() &&
+                cur.in_h == prev.out_h();
+    }
+    if (!geom_ok)
+      throw ConfigError("layer '" + cur.name + "' does not chain onto '" +
+                        prev.name + "'");
+  }
+}
+
+Network Network::paper_topology(std::uint16_t in_ch, std::uint16_t in_w,
+                                std::uint16_t in_h, std::uint16_t classes,
+                                std::uint16_t features, std::uint16_t hidden,
+                                std::uint8_t final_pool) {
+  Network n;
+  LayerSpec c1 = LayerSpec::conv("conv1", in_ch, in_w, in_h, features, 3, 1, 1);
+  LayerSpec p1 = LayerSpec::pool("pool1", features, c1.out_w(), c1.out_h(), 2);
+  LayerSpec c2 = LayerSpec::conv("conv2", features, p1.out_w(), p1.out_h(),
+                                 features, 3, 1, 1);
+  LayerSpec p2 = LayerSpec::pool("pool2", features, c2.out_w(), c2.out_h(), 2);
+  LayerSpec p3 = LayerSpec::pool("pool3", features, p2.out_w(), p2.out_h(),
+                                 final_pool);
+  LayerSpec f1 = LayerSpec::fc("fc1", features, p3.out_w(), p3.out_h(), hidden);
+  const FcShape hs = fc_shape(hidden);
+  LayerSpec f2 = LayerSpec::fc("fc2", hs.channels, hs.width, hs.height, classes);
+  n.layers = {std::move(c1), std::move(p1), std::move(c2), std::move(p2),
+              std::move(p3), std::move(f1), std::move(f2)};
+  n.validate();
+  return n;
+}
+
+}  // namespace sne::ecnn

@@ -1,0 +1,107 @@
+// Lowering of trained floating-point networks onto the SNE integer grid
+// (4-bit weights, 8-bit threshold/leak; see neuron/quantize.h).
+//
+// Pooling layers lower to fixed integer parameters without calibration:
+// unit weights, threshold 0 (fire on any spike in the window), no leak.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "ecnn/layer.h"
+#include "neuron/lif.h"
+#include "neuron/quantize.h"
+
+namespace sne::ecnn {
+
+/// One layer in SNE-LIF-4b form.
+struct QuantizedLayerSpec {
+  LayerSpec::Type type = LayerSpec::Type::kConv;
+  std::string name;
+
+  std::uint16_t in_ch = 1, in_w = 1, in_h = 1;
+  std::uint16_t out_ch = 1;
+  std::uint8_t kernel = 3, stride = 1, pad = 0;
+
+  std::vector<std::int8_t> weights;  ///< 4-bit codes, same layout as LayerSpec
+  neuron::LifParams lif;
+  double scale = 1.0;  ///< real value of one integer step
+
+  std::uint16_t out_w() const {
+    if (type == LayerSpec::Type::kFc) return 1;
+    return static_cast<std::uint16_t>((in_w + 2 * pad - kernel) / stride + 1);
+  }
+  std::uint16_t out_h() const {
+    if (type == LayerSpec::Type::kFc) return 1;
+    return static_cast<std::uint16_t>((in_h + 2 * pad - kernel) / stride + 1);
+  }
+  std::size_t in_flat() const {
+    return static_cast<std::size_t>(in_ch) * in_w * in_h;
+  }
+  std::size_t out_flat() const {
+    if (type == LayerSpec::Type::kFc) return out_ch;
+    return static_cast<std::size_t>(out_ch) * out_w() * out_h();
+  }
+
+  /// Conv weight code for (oc, ic, ky, kx).
+  std::int32_t conv_weight(std::uint32_t oc, std::uint32_t ic, std::uint32_t ky,
+                           std::uint32_t kx) const {
+    SNE_EXPECTS(type != LayerSpec::Type::kFc);
+    if (type == LayerSpec::Type::kPool) return oc == ic ? 1 : 0;
+    const std::size_t idx =
+        ((static_cast<std::size_t>(oc) * in_ch + ic) * kernel + ky) * kernel + kx;
+    SNE_EXPECTS(idx < weights.size());
+    return weights[idx];
+  }
+
+  /// FC weight code for (out neuron, flat input position).
+  std::int32_t fc_weight(std::uint32_t out, std::uint32_t in) const {
+    SNE_EXPECTS(type == LayerSpec::Type::kFc);
+    const std::size_t idx = static_cast<std::size_t>(out) * in_flat() + in;
+    SNE_EXPECTS(idx < weights.size());
+    return weights[idx];
+  }
+};
+
+struct QuantizedNetwork {
+  std::vector<QuantizedLayerSpec> layers;
+};
+
+/// Quantizes one layer (symmetric per-layer scale; see neuron/quantize.h).
+inline QuantizedLayerSpec quantize(const LayerSpec& l) {
+  l.validate();
+  QuantizedLayerSpec q;
+  q.type = l.type;
+  q.name = l.name;
+  q.in_ch = l.in_ch;
+  q.in_w = l.in_w;
+  q.in_h = l.in_h;
+  q.out_ch = l.out_ch;
+  q.kernel = l.kernel;
+  q.stride = l.stride;
+  q.pad = l.pad;
+  if (l.type == LayerSpec::Type::kPool) {
+    q.scale = 1.0;
+    q.lif.leak = 0;
+    q.lif.v_th = 0;  // any spike in the window fires (OR-pooling)
+    return q;
+  }
+  const neuron::QuantizedLayer ql =
+      neuron::quantize_layer(l.weights, l.threshold, l.leak);
+  q.weights = ql.weights;
+  q.scale = ql.scale;
+  q.lif.leak = ql.leak;
+  q.lif.v_th = ql.v_th;
+  return q;
+}
+
+inline QuantizedNetwork quantize(const Network& net) {
+  net.validate();
+  QuantizedNetwork q;
+  q.layers.reserve(net.layers.size());
+  for (const LayerSpec& l : net.layers) q.layers.push_back(quantize(l));
+  return q;
+}
+
+}  // namespace sne::ecnn

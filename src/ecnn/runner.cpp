@@ -1,0 +1,135 @@
+#include "ecnn/runner.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace sne::ecnn {
+
+event::StreamGeometry build_pipeline(core::SneEngine& engine,
+                                     const QuantizedNetwork& net,
+                                     std::uint16_t timesteps) {
+  SNE_EXPECTS(!net.layers.empty());
+  if (net.layers.size() > engine.config().num_slices)
+    throw ConfigError("pipeline mode needs one slice per layer (" +
+                      std::to_string(net.layers.size()) + " layers, " +
+                      std::to_string(engine.config().num_slices) + " slices)");
+  Mapper mapper(engine.config());
+  event::StreamGeometry out_geometry;
+  for (std::size_t li = 0; li < net.layers.size(); ++li) {
+    const LayerPlan plan = mapper.plan(net.layers[li], timesteps);
+    if (plan.rounds.size() != 1 || plan.rounds[0].passes.size() != 1)
+      throw ConfigError("layer '" + net.layers[li].name +
+                        "' needs multiple passes and cannot run in pipeline "
+                        "mode; use NetworkRunner (time-multiplexed) instead");
+    const SlicePass& pass = plan.rounds[0].passes[0];
+    engine.configure_slice(static_cast<std::uint32_t>(li), pass.cfg);
+    for (const auto& [set, codes] : pass.weight_image)
+      for (std::size_t i = 0; i < codes.size(); ++i)
+        engine.slice(static_cast<std::uint32_t>(li))
+            .weights()
+            .write(set, static_cast<std::uint32_t>(i), codes[i]);
+    out_geometry = plan.out_geometry;
+  }
+  engine.set_routes(core::XbarRoutes::pipeline(
+      static_cast<std::uint32_t>(net.layers.size())));
+  return out_geometry;
+}
+
+NetworkRunStats NetworkRunner::run(const QuantizedNetwork& net,
+                                   const event::EventStream& input,
+                                   event::FirePolicy policy) {
+  SNE_EXPECTS(!net.layers.empty());
+  NetworkRunStats stats;
+  const event::EventStream* current = &input;
+  for (const QuantizedLayerSpec& layer : net.layers) {
+    stats.layers.push_back(run_layer(layer, *current, policy));
+    current = &stats.layers.back().output;
+    stats.total += stats.layers.back().counters;
+    stats.cycles += stats.layers.back().cycles;
+  }
+  stats.final_output = stats.layers.back().output;
+  return stats;
+}
+
+LayerRunStats NetworkRunner::run_layer(const QuantizedLayerSpec& layer,
+                                       const event::EventStream& input,
+                                       event::FirePolicy policy) {
+  const std::uint16_t T = input.geometry().timesteps;
+  const LayerPlan plan = mapper_.plan(layer, T);
+
+  LayerRunStats stats;
+  stats.name = layer.name;
+  stats.input_events = input.update_count();
+  stats.input_activity = input.activity();
+  stats.rounds = plan.rounds.size();
+  stats.output = event::EventStream(plan.out_geometry);
+
+  for (const Round& round : plan.rounds) {
+    // Program every participating slice (configuration + weights).
+    std::vector<std::uint32_t> active;
+    for (const SlicePass& pass : round.passes) {
+      engine_->configure_slice(pass.slice_id, pass.cfg);
+      program_weights(pass, stats.counters, stats.cycles);
+      active.push_back(pass.slice_id);
+    }
+
+    // Broadcast the layer input to the round's slices.
+    core::XbarRoutes routes;
+    routes.input_dest = active;
+    routes.slice_dest.assign(engine_->config().num_slices,
+                             core::SliceRoute{core::SliceRoute::kToMemory});
+    engine_->set_routes(routes);
+
+    core::RunOptions opts;
+    opts.out_geometry = plan.out_geometry;
+    const core::RunResult r = engine_->run(input, opts, policy);
+    stats.counters += r.counters;
+    stats.cycles += r.cycles;
+
+    for (const event::Event& e : r.output.events())
+      if (e.op == event::Op::kUpdate) stats.output.push(e);
+  }
+
+  stats.output.normalize();
+  stats.output_events = stats.output.update_count();
+  return stats;
+}
+
+void NetworkRunner::program_weights(const SlicePass& pass,
+                                    hwsim::ActivityCounters& agg,
+                                    std::uint64_t& cycles) {
+  core::Slice& slice = engine_->slice(pass.slice_id);
+  if (pass.host_load_only || !use_wload_stream_) {
+    // Host-side load. For the streamed-FC case this is the *model* of the
+    // continuously-streaming second DMA (per-event beats are charged at
+    // event time); for conv it is a fast path whose beat count is charged
+    // here so energy matches the WLOAD-stream path.
+    for (const auto& [set, codes] : pass.weight_image)
+      for (std::size_t i = 0; i < codes.size(); ++i)
+        slice.weights().write(static_cast<std::uint32_t>(set),
+                              static_cast<std::uint32_t>(i), codes[i]);
+    if (!pass.host_load_only) {
+      std::uint64_t beats = 0;
+      for (const auto& [set, codes] : pass.weight_image)
+        beats += 1 + (codes.size() + 7) / 8;  // header + payload
+      agg.weight_load_beats += beats;
+      agg.dma_read_beats += beats;
+    }
+    return;
+  }
+  // Stream the WLOAD program through the C-XBAR point-to-point, exactly as
+  // a host driver would: route input DMA -> this slice only.
+  core::XbarRoutes routes;
+  routes.input_dest = {pass.slice_id};
+  routes.slice_dest.assign(engine_->config().num_slices,
+                           core::SliceRoute{core::SliceRoute::kToMemory});
+  engine_->set_routes(routes);
+  const std::vector<event::Beat> beats = pass.wload_beats();
+  if (beats.empty()) return;
+  const core::RunResult r = engine_->run(beats);
+  agg += r.counters;
+  cycles += r.cycles;
+}
+
+}  // namespace sne::ecnn

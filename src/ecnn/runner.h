@@ -1,0 +1,102 @@
+// NetworkRunner: executes a whole quantized eCNN on the cycle-accurate
+// engine in the time-multiplexed operating mode (paper section III-D.5:
+// "the SNE can be used in a time-multiplexed way to execute only a tile of
+// the network", with intermediate feature maps in external memory).
+//
+// Per layer: for every round of the mapper's plan, slice configurations are
+// applied, weights are programmed through the C-XBAR as WLOAD streams
+// (point-to-point routes, one slice at a time — Listing 1's
+// `program_sne(W)`), and the layer's input stream is broadcast to all
+// configured slices. Outputs of all rounds merge into the layer's output
+// stream, which becomes the next layer's input.
+//
+// Besides the simulated cycle counts, the runner computes the *paper-method*
+// analytic timing (events x 48 cycles x 120 ns at 400 MHz, section IV-B)
+// so benches can print both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "ecnn/golden.h"
+#include "ecnn/mapper.h"
+#include "event/event_stream.h"
+#include "hwsim/counters.h"
+
+namespace sne::ecnn {
+
+struct LayerRunStats {
+  std::string name;
+  event::EventStream output;          ///< merged spikes of this layer
+  hwsim::ActivityCounters counters;   ///< all rounds, incl. weight loading
+  std::uint64_t cycles = 0;           ///< serialized cycles over rounds
+  std::size_t input_events = 0;
+  std::size_t output_events = 0;
+  double input_activity = 0.0;
+  std::size_t rounds = 0;
+};
+
+struct NetworkRunStats {
+  std::vector<LayerRunStats> layers;
+  hwsim::ActivityCounters total;
+  std::uint64_t cycles = 0;           ///< layers serialize in TM mode
+  event::EventStream final_output;
+
+  std::size_t total_input_events() const {
+    std::size_t n = 0;
+    for (const auto& l : layers) n += l.input_events;
+    return n;
+  }
+
+  /// The paper's analytic inference-time estimate: every input event of
+  /// every layer is consumed in `update_cycles` cycles (120 ns at 400 MHz).
+  double paper_method_time_ms(double cycle_ns, std::uint32_t update_cycles) const {
+    return static_cast<double>(total_input_events()) * update_cycles *
+           cycle_ns * 1e-6;
+  }
+};
+
+/// Maps a whole network onto one slice per layer and installs the chained
+/// C-XBAR routes (paper III-D.5, pipeline operating mode). Requires every
+/// layer to fit a single pass (single round, single slice); throws
+/// ConfigError otherwise. Returns the output geometry of the last stage.
+/// After this call, engine.run(stream) executes all layers concurrently.
+event::StreamGeometry build_pipeline(core::SneEngine& engine,
+                                     const QuantizedNetwork& net,
+                                     std::uint16_t timesteps);
+
+class NetworkRunner {
+ public:
+  /// `use_wload_stream`: program weights through the C-XBAR WLOAD path
+  /// (slower to simulate, exercises the full datapath). Off = host-side
+  /// loads with equivalent weight-beat energy accounting.
+  NetworkRunner(core::SneEngine& engine, bool use_wload_stream = true)
+      : engine_(&engine),
+        mapper_(engine.config()),
+        use_wload_stream_(use_wload_stream) {}
+
+  /// Runs the network; `input` carries UPDATE events only (control events
+  /// are inserted per layer).
+  NetworkRunStats run(const QuantizedNetwork& net,
+                      const event::EventStream& input,
+                      event::FirePolicy policy =
+                          event::FirePolicy::kActiveStepsOnly);
+
+  const Mapper& mapper() const { return mapper_; }
+
+ private:
+  LayerRunStats run_layer(const QuantizedLayerSpec& layer,
+                          const event::EventStream& input,
+                          event::FirePolicy policy);
+
+  /// Installs one pass's weights, either over the stream or host-side.
+  void program_weights(const SlicePass& pass, hwsim::ActivityCounters& agg,
+                       std::uint64_t& cycles);
+
+  core::SneEngine* engine_;
+  Mapper mapper_;
+  bool use_wload_stream_;
+};
+
+}  // namespace sne::ecnn

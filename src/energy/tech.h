@@ -1,0 +1,40 @@
+// GF22FDX technology parameters used by the area/power models.
+//
+// The paper synthesizes in GlobalFoundries 22nm FDX (8T cells, SSG corner,
+// 0.72 V, -40C, 400 MHz) and reports power at TT, 0.8 V, 25C, 400 MHz.
+// Derived constants:
+//
+//  * nd2_area_um2 — the paper expresses area in kGE as "total area ... in
+//    um2 ... divided by the area of an ND2X1 gate (8T library)". The value
+//    0.1965 um2 is back-derived so that (memory + cluster datapath) area of
+//    the 8-slice design divided by its 8192 neurons reproduces the paper's
+//    19.9 um2/neuron (Table II).
+//  * leak_uw_per_kge — chosen so 8-slice leakage is ~0.2 mW, matching the
+//    barely-visible leakage bars of Fig. 5a while keeping total power at
+//    the paper's 11.29 mW.
+//  * voltage_scale_exponent — Table II's 0.9 V extrapolation (0.221 ->
+//    0.248 pJ/SOP, 4.54 -> 4.03 TSOP/s/W) corresponds to *linear* energy-
+//    vs-voltage scaling (0.221 * 0.9/0.8 = 0.2486); pure CV^2 physics would
+//    give exponent 2. We default to the paper's effective exponent 1 and
+//    let benches print both.
+#pragma once
+
+#include "common/contracts.h"
+
+namespace sne::energy {
+
+struct TechParams {
+  double nd2_area_um2 = 0.1965;   ///< ND2X1 footprint (kGE -> um2 conversion)
+  double nominal_voltage = 0.8;   ///< power-analysis supply (TT corner)
+  double leak_uw_per_kge = 0.119; ///< leakage density at nominal voltage
+  double voltage_scale_exponent = 1.0;  ///< paper-effective; physics = 2.0
+  double leakage_voltage_exponent = 3.0;
+
+  void validate() const {
+    if (nd2_area_um2 <= 0) throw ConfigError("ND2 area must be positive");
+    if (nominal_voltage <= 0) throw ConfigError("voltage must be positive");
+    if (leak_uw_per_kge < 0) throw ConfigError("leakage must be non-negative");
+  }
+};
+
+}  // namespace sne::energy

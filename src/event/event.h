@@ -1,0 +1,169 @@
+// SNE event data format (paper Fig. 1).
+//
+// An SNE event is a 32-bit word partitioned into the quadruple
+// E := (OP_e, t, ch, x, y). The paper fixes the total width (32 bits), the
+// three event operations (RST_OP / UPDATE_OP / FIRE_OP) and the 4-bit weight
+// payload (8 weights per 32-bit beat), but not the exact sub-field split.
+// We choose
+//
+//    [ op:2 | t:8 | ch:8 | x:7 | y:7 ]   (MSB -> LSB)
+//
+// which supports 128x128 spatial addresses (IBM DVS-Gesture resolution),
+// 256 channels (matching the 256-entry on-the-fly-selectable filter buffer)
+// and 256 timesteps per processing window (the paper's power benchmark uses
+// 100). The fourth op code carries weight-load headers so that weights ride
+// the same 32-bit stream, as in Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/contracts.h"
+
+namespace sne::event {
+
+/// Raw 32-bit stream beat (event word, weight header or weight payload).
+using Beat = std::uint32_t;
+
+/// Event operation (2-bit OP field).
+enum class Op : std::uint8_t {
+  kReset = 0,    ///< RST_OP: reset all neuron membrane potentials to zero.
+  kUpdate = 1,   ///< UPDATE_OP: integrate event into all receptive neurons.
+  kFire = 2,     ///< FIRE_OP: threshold scan; neurons above V_th emit events.
+  kWeight = 3,   ///< Weight-load header; payload beats follow (8x4-bit each).
+};
+
+inline const char* op_name(Op op) {
+  switch (op) {
+    case Op::kReset: return "RST_OP";
+    case Op::kUpdate: return "UPDATE_OP";
+    case Op::kFire: return "FIRE_OP";
+    case Op::kWeight: return "WLOAD_OP";
+  }
+  return "?";
+}
+
+// Field geometry (bit offsets from LSB).
+inline constexpr int kYBits = 7;
+inline constexpr int kXBits = 7;
+inline constexpr int kChBits = 8;
+inline constexpr int kTimeBits = 8;
+inline constexpr int kOpBits = 2;
+
+inline constexpr int kYShift = 0;
+inline constexpr int kXShift = kYShift + kYBits;
+inline constexpr int kChShift = kXShift + kXBits;
+inline constexpr int kTimeShift = kChShift + kChBits;
+inline constexpr int kOpShift = kTimeShift + kTimeBits;
+
+static_assert(kOpShift + kOpBits == 32, "event word must be exactly 32 bits");
+
+inline constexpr std::uint32_t kMaxX = (1u << kXBits) - 1;     // 127
+inline constexpr std::uint32_t kMaxY = (1u << kYBits) - 1;     // 127
+inline constexpr std::uint32_t kMaxCh = (1u << kChBits) - 1;   // 255
+inline constexpr std::uint32_t kMaxTime = (1u << kTimeBits) - 1;  // 255
+
+/// Decoded SNE event. `t` is the timestep within the current processing
+/// window; RST/FIRE events use (ch, x, y) = 0.
+struct Event {
+  Op op = Op::kUpdate;
+  std::uint16_t t = 0;   ///< timestep, [0, 255]
+  std::uint16_t ch = 0;  ///< channel, [0, 255]
+  std::uint8_t x = 0;    ///< horizontal address, [0, 127]
+  std::uint8_t y = 0;    ///< vertical address, [0, 127]
+
+  bool operator==(const Event&) const = default;
+
+  static Event reset(std::uint16_t t) { return Event{Op::kReset, t, 0, 0, 0}; }
+  static Event fire(std::uint16_t t) { return Event{Op::kFire, t, 0, 0, 0}; }
+  static Event update(std::uint16_t t, std::uint16_t ch, std::uint8_t x,
+                      std::uint8_t y) {
+    return Event{Op::kUpdate, t, ch, x, y};
+  }
+};
+
+/// Packs an event into its 32-bit memory/stream representation.
+inline Beat pack(const Event& e) {
+  SNE_EXPECTS(e.t <= kMaxTime);
+  SNE_EXPECTS(e.ch <= kMaxCh);
+  SNE_EXPECTS(e.x <= kMaxX);
+  SNE_EXPECTS(e.y <= kMaxY);
+  return (static_cast<Beat>(e.op) << kOpShift) |
+         (static_cast<Beat>(e.t) << kTimeShift) |
+         (static_cast<Beat>(e.ch) << kChShift) |
+         (static_cast<Beat>(e.x) << kXShift) |
+         (static_cast<Beat>(e.y) << kYShift);
+}
+
+/// Unpacks a 32-bit beat into a decoded event. Total function: every 32-bit
+/// pattern decodes to some event (hardware never traps on malformed data).
+inline Event unpack(Beat b) {
+  Event e;
+  e.op = static_cast<Op>((b >> kOpShift) & ((1u << kOpBits) - 1));
+  e.t = static_cast<std::uint16_t>((b >> kTimeShift) & kMaxTime);
+  e.ch = static_cast<std::uint16_t>((b >> kChShift) & kMaxCh);
+  e.x = static_cast<std::uint8_t>((b >> kXShift) & kMaxX);
+  e.y = static_cast<std::uint8_t>((b >> kYShift) & kMaxY);
+  return e;
+}
+
+/// Weight-load header: announces `payload_beats` weight payload words for
+/// filter-buffer set `set_index`, starting at weight offset `offset` within
+/// the set. Encoded in the (ch, x, y) fields of a kWeight beat:
+/// ch = set_index, x = offset (in groups of 8 weights), t = payload count.
+struct WeightHeader {
+  std::uint16_t set_index = 0;    ///< filter buffer set, [0, 255]
+  std::uint8_t group_offset = 0;  ///< offset in 8-weight groups within the set
+  std::uint16_t payload_beats = 0;  ///< number of payload words that follow
+};
+
+inline Beat pack(const WeightHeader& h) {
+  SNE_EXPECTS(h.set_index <= kMaxCh);
+  SNE_EXPECTS(h.group_offset <= kMaxX);
+  SNE_EXPECTS(h.payload_beats <= kMaxTime);
+  Event e;
+  e.op = Op::kWeight;
+  e.t = h.payload_beats;
+  e.ch = h.set_index;
+  e.x = h.group_offset;
+  e.y = 0;
+  return pack(e);
+}
+
+inline WeightHeader unpack_weight_header(Beat b) {
+  const Event e = unpack(b);
+  SNE_EXPECTS(e.op == Op::kWeight);
+  return WeightHeader{e.ch, e.x, e.t};
+}
+
+/// Packs 8 signed 4-bit weights (W0..W7, W0 in the least significant nibble)
+/// into one 32-bit payload beat, per Fig. 1.
+inline Beat pack_weights(const std::int8_t (&w)[8]) {
+  Beat b = 0;
+  for (int i = 0; i < 8; ++i) {
+    SNE_EXPECTS(w[i] >= -8 && w[i] <= 7);
+    b |= (static_cast<Beat>(w[i]) & 0xFu) << (4 * i);
+  }
+  return b;
+}
+
+/// Extracts weight `i` (0..7) from a payload beat, sign-extended.
+inline std::int8_t unpack_weight(Beat b, int i) {
+  SNE_EXPECTS(i >= 0 && i < 8);
+  const std::uint32_t nibble = (b >> (4 * i)) & 0xFu;
+  return static_cast<std::int8_t>(nibble >= 8 ? static_cast<int>(nibble) - 16
+                                              : static_cast<int>(nibble));
+}
+
+inline std::string to_string(const Event& e) {
+  return std::string(op_name(e.op)) + "(t=" + std::to_string(e.t) +
+         ",ch=" + std::to_string(e.ch) + ",x=" + std::to_string(e.x) +
+         ",y=" + std::to_string(e.y) + ")";
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Event& e) {
+  return os << to_string(e);
+}
+
+}  // namespace sne::event

@@ -1,0 +1,61 @@
+// Binary serialization of event streams ("events can be stored linearly into
+// the external memory", paper section III-D.2). The on-disk format is the
+// in-memory DMA format prefixed by a small header so examples can exchange
+// recorded streams.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "event/event_stream.h"
+
+namespace sne::event {
+
+inline constexpr std::uint32_t kStreamFileMagic = 0x534E4531;  // "SNE1"
+
+/// Writes a stream as [magic, channels, width, height, timesteps, count,
+/// beat...] little-endian 32-bit words.
+inline void save_stream(const EventStream& s, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw ConfigError("cannot open for writing: " + path);
+  const auto put = [&f](std::uint32_t v) {
+    f.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  const auto& g = s.geometry();
+  put(kStreamFileMagic);
+  put(g.channels);
+  put(g.width);
+  put(g.height);
+  put(g.timesteps);
+  const auto beats = s.to_beats();
+  put(static_cast<std::uint32_t>(beats.size()));
+  for (Beat b : beats) put(b);
+  if (!f) throw ConfigError("write failed: " + path);
+}
+
+/// Loads a stream written by save_stream.
+inline EventStream load_stream(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ConfigError("cannot open for reading: " + path);
+  const auto get = [&f]() {
+    std::uint32_t v = 0;
+    f.read(reinterpret_cast<char*>(&v), sizeof v);
+    return v;
+  };
+  if (get() != kStreamFileMagic) throw ConfigError("bad magic in " + path);
+  StreamGeometry g;
+  g.channels = static_cast<std::uint16_t>(get());
+  g.width = static_cast<std::uint8_t>(get());
+  g.height = static_cast<std::uint8_t>(get());
+  g.timesteps = static_cast<std::uint16_t>(get());
+  const std::uint32_t count = get();
+  std::vector<Beat> beats(count);
+  for (auto& b : beats) b = get();
+  if (!f) throw ConfigError("truncated stream file: " + path);
+  return EventStream::from_beats(beats, g);
+}
+
+}  // namespace sne::event

@@ -1,0 +1,44 @@
+// Round-robin arbiter: the collector "arbitrates between the SLs output
+// ports and multiplexes them into a single event stream" (paper III-D.3).
+// The paper does not name the policy; round-robin is the standard fair
+// choice and is documented as ours.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/contracts.h"
+
+namespace sne::hwsim {
+
+/// Stateful round-robin grant generator over `ports` requesters.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t ports) : ports_(ports) {
+    SNE_EXPECTS(ports > 0);
+  }
+
+  std::size_t ports() const { return ports_; }
+
+  /// Returns the first requesting port at or after the rotating priority
+  /// pointer, advancing the pointer past the granted port; -1 if none
+  /// request. `requesting(i)` must be a pure predicate for this cycle.
+  int grant(const std::function<bool(std::size_t)>& requesting) {
+    for (std::size_t k = 0; k < ports_; ++k) {
+      const std::size_t i = (next_ + k) % ports_;
+      if (requesting(i)) {
+        next_ = (i + 1) % ports_;
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void reset() { next_ = 0; }
+
+ private:
+  std::size_t ports_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace sne::hwsim

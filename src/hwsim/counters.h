@@ -1,0 +1,85 @@
+// Activity counters: the bridge between the cycle-accurate simulator and the
+// energy model.
+//
+// Every energy-relevant micro-event in the architecture increments one of
+// these counters; sne::energy multiplies them by calibrated per-event energy
+// coefficients. This is how the reproduction preserves the paper's central
+// property: energy strictly proportional to simulated switching activity.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace sne::hwsim {
+
+struct ActivityCounters {
+  // --- global timing -------------------------------------------------------
+  std::uint64_t cycles = 0;              ///< engine cycles elapsed
+  std::uint64_t idle_cycles = 0;         ///< cycles with every slice idle
+
+  // --- slice / cluster datapath -------------------------------------------
+  std::uint64_t slice_busy_cycles = 0;   ///< sum over slices of busy cycles
+  std::uint64_t neuron_updates = 0;      ///< SOPs: membrane integrations
+  std::uint64_t leak_applications = 0;   ///< one-shot TLU leak catch-ups
+  std::uint64_t fire_checks = 0;         ///< threshold comparisons in FIRE scans
+  std::uint64_t fire_scans = 0;          ///< FIRE_OP scans executed (per slice)
+  std::uint64_t neuron_resets = 0;       ///< state words cleared by RST_OP
+  std::uint64_t gated_cluster_cycles = 0;///< cluster-cycles saved by clock gating
+  std::uint64_t active_cluster_cycles = 0;///< cluster-cycles with datapath toggling
+  std::uint64_t state_reads = 0;         ///< state-memory read accesses
+  std::uint64_t state_writes = 0;        ///< state-memory write accesses
+  std::uint64_t timesteps_skipped = 0;   ///< silent timesteps elided via TLU
+
+  // --- events and streams ---------------------------------------------------
+  std::uint64_t events_consumed = 0;     ///< input UPDATE events processed
+  std::uint64_t output_events = 0;       ///< spikes emitted by FIRE scans
+  std::uint64_t fifo_pushes = 0;         ///< all modeled FIFO pushes
+  std::uint64_t fifo_pops = 0;
+  std::uint64_t fifo_stall_cycles = 0;   ///< cycles a FIRE scan stalled on a full FIFO
+
+  // --- interconnect / memory ------------------------------------------------
+  std::uint64_t xbar_beats = 0;          ///< beats through the C-XBAR
+  std::uint64_t xbar_broadcast_beats = 0;///< of which broadcast (counted once)
+  std::uint64_t dma_read_beats = 0;      ///< words streamed in from memory
+  std::uint64_t dma_write_beats = 0;     ///< words streamed out to memory
+  std::uint64_t weight_load_beats = 0;   ///< weight payload words programmed
+
+  ActivityCounters& operator+=(const ActivityCounters& o) {
+    cycles += o.cycles;
+    idle_cycles += o.idle_cycles;
+    slice_busy_cycles += o.slice_busy_cycles;
+    neuron_updates += o.neuron_updates;
+    leak_applications += o.leak_applications;
+    fire_checks += o.fire_checks;
+    fire_scans += o.fire_scans;
+    neuron_resets += o.neuron_resets;
+    gated_cluster_cycles += o.gated_cluster_cycles;
+    active_cluster_cycles += o.active_cluster_cycles;
+    state_reads += o.state_reads;
+    state_writes += o.state_writes;
+    timesteps_skipped += o.timesteps_skipped;
+    events_consumed += o.events_consumed;
+    output_events += o.output_events;
+    fifo_pushes += o.fifo_pushes;
+    fifo_pops += o.fifo_pops;
+    fifo_stall_cycles += o.fifo_stall_cycles;
+    xbar_beats += o.xbar_beats;
+    xbar_broadcast_beats += o.xbar_broadcast_beats;
+    dma_read_beats += o.dma_read_beats;
+    dma_write_beats += o.dma_write_beats;
+    weight_load_beats += o.weight_load_beats;
+    return *this;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ActivityCounters& c) {
+  os << "cycles=" << c.cycles << " busy=" << c.slice_busy_cycles
+     << " sop=" << c.neuron_updates << " fire_checks=" << c.fire_checks
+     << " events_in=" << c.events_consumed << " events_out=" << c.output_events
+     << " gated=" << c.gated_cluster_cycles << " active=" << c.active_cluster_cycles
+     << " xbar=" << c.xbar_beats << " dma_r=" << c.dma_read_beats
+     << " dma_w=" << c.dma_write_beats << " wload=" << c.weight_load_beats;
+  return os;
+}
+
+}  // namespace sne::hwsim

@@ -1,0 +1,70 @@
+// Bounded hardware FIFO model.
+//
+// Components communicate exclusively through these queues; capacity limits
+// produce the same backpressure behaviour as the RTL's ready/valid
+// handshakes (a producer that cannot push stalls, exactly like a deasserted
+// `ready`). The simulator ticks components in a fixed order, so a word
+// pushed in cycle N is visible to the consumer in cycle N+1 at the earliest,
+// matching registered-output FIFOs.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/contracts.h"
+
+namespace sne::hwsim {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    SNE_EXPECTS(capacity > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  bool full() const { return q_.size() >= capacity_; }
+  std::size_t space() const { return capacity_ - q_.size(); }
+
+  /// Attempts to push; returns false (and drops nothing) when full.
+  bool try_push(const T& v) {
+    if (full()) return false;
+    q_.push_back(v);
+    if (q_.size() > high_water_) high_water_ = q_.size();
+    ++pushes_;
+    return true;
+  }
+
+  /// Front element; FIFO must not be empty.
+  const T& front() const {
+    SNE_EXPECTS(!q_.empty());
+    return q_.front();
+  }
+
+  /// Pops the front element; FIFO must not be empty.
+  T pop() {
+    SNE_EXPECTS(!q_.empty());
+    T v = q_.front();
+    q_.pop_front();
+    ++pops_;
+    return v;
+  }
+
+  void clear() { q_.clear(); }
+
+  // Occupancy statistics (used by the energy model and FIFO-depth ablation).
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t total_pushes() const { return pushes_; }
+  std::uint64_t total_pops() const { return pops_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> q_;
+  std::size_t high_water_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+};
+
+}  // namespace sne::hwsim

@@ -1,0 +1,72 @@
+// Float -> SNE-LIF-4b quantization (paper: "the SNE implements a quantized
+// variant of the LIF dynamics", 4-bit weights / 8-bit state).
+//
+// A trained floating-point layer (weights w, threshold theta, leak lambda)
+// is mapped onto the integer grid by a single per-layer scale s chosen so
+// the largest-magnitude weight uses the full 4-bit range:
+//
+//   s      = max|w| / 7
+//   w_q    = clamp(round(w / s),      -8, 7)
+//   th_q   = clamp(round(theta / s), -128, 127)
+//   leak_q = clamp(round(lambda / s),   0, 127)
+//
+// Because LIF dynamics are scale-invariant (multiplying weights, threshold
+// and leak by the same constant leaves the spike train unchanged), the only
+// approximation error is rounding onto the integer grid.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/fixed_point.h"
+
+namespace sne::neuron {
+
+/// Result of quantizing one layer's parameters.
+struct QuantizedLayer {
+  std::vector<std::int8_t> weights;  ///< 4-bit codes in [-8, 7]
+  std::int32_t v_th = 0;             ///< 8-bit threshold code
+  std::int32_t leak = 0;             ///< 8-bit leak code (>= 0)
+  double scale = 1.0;                ///< real value of one integer step
+};
+
+/// Quantizes weights + threshold + leak with a shared per-layer scale.
+inline QuantizedLayer quantize_layer(const std::vector<float>& weights,
+                                     double threshold, double leak) {
+  SNE_EXPECTS(threshold > 0.0);
+  SNE_EXPECTS(leak >= 0.0);
+  double max_abs = 0.0;
+  for (float w : weights) max_abs = std::max(max_abs, std::abs(static_cast<double>(w)));
+  QuantizedLayer q;
+  q.scale = weight_scale_for(max_abs);
+  q.weights.reserve(weights.size());
+  for (float w : weights)
+    q.weights.push_back(static_cast<std::int8_t>(quantize_weight(w, q.scale)));
+  q.v_th = saturate(static_cast<std::int32_t>(std::lround(threshold / q.scale)),
+                    kStateRange);
+  // A threshold that rounds to zero would make every neuron fire on any
+  // positive input; clamp to the smallest meaningful value instead.
+  if (q.v_th < 1) q.v_th = 1;
+  q.leak = std::clamp(static_cast<std::int32_t>(std::lround(leak / q.scale)), 0,
+                      kStateRange.hi);
+  return q;
+}
+
+/// Root-mean-square quantization error of the weight grid (diagnostic).
+inline double weight_rms_error(const std::vector<float>& weights,
+                               const QuantizedLayer& q) {
+  SNE_EXPECTS(weights.size() == q.weights.size());
+  if (weights.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double err = static_cast<double>(weights[i]) -
+                       dequantize_weight(q.weights[i], q.scale);
+    acc += err * err;
+  }
+  return std::sqrt(acc / static_cast<double>(weights.size()));
+}
+
+}  // namespace sne::neuron

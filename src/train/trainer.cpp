@@ -1,0 +1,521 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace sne::train {
+
+namespace {
+
+using ecnn::LayerSpec;
+
+std::size_t flat_index(std::uint16_t ch, std::uint16_t y, std::uint16_t x,
+                       std::uint16_t h, std::uint16_t w) {
+  return (static_cast<std::size_t>(ch) * h + y) * w + x;
+}
+
+/// SuperSpike surrogate derivative of the Heaviside spike function.
+double surrogate(double v, double threshold, double width) {
+  const double z = 1.0 + std::abs(v - threshold) / width;
+  return 1.0 / (z * z);
+}
+
+/// Linear decay toward zero (float twin of neuron::leaked, kTowardZero).
+double leak_toward_zero(double v, double leak) {
+  if (v > leak) return v - leak;
+  if (v < -leak) return v + leak;
+  return 0.0;
+}
+
+double leak_gradient(double v, double leak) {
+  return std::abs(v) > leak ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+/// Per-layer forward records for one sample (time-major dense spikes).
+struct Trainer::LayerState {
+  std::size_t n_in = 0, n_out = 0;
+  // [T][n]: recorded values needed by the backward pass.
+  std::vector<std::vector<float>> drive;    ///< I[t] = op(W, S_in[t])
+  std::vector<std::vector<float>> v_pre;    ///< membrane before spike/reset
+  std::vector<std::vector<float>> spikes;   ///< binary outputs
+  std::vector<std::vector<float>> in_spikes;///< dense input (copy)
+};
+
+namespace {
+
+/// Applies a layer's linear operator to one timestep of input spikes.
+void forward_op(const LayerSpec& l, const std::vector<float>& s_in,
+                std::vector<float>& drive) {
+  drive.assign(l.out_flat(), 0.0f);
+  switch (l.type) {
+    case LayerSpec::Type::kFc: {
+      const std::size_t n_in = l.in_flat();
+      parallel_for(0, l.out_ch, [&](std::size_t o) {
+        double acc = 0.0;
+        const float* w = l.weights.data() + o * n_in;
+        for (std::size_t i = 0; i < n_in; ++i) acc += w[i] * s_in[i];
+        drive[o] = static_cast<float>(acc);
+      });
+      return;
+    }
+    case LayerSpec::Type::kPool: {
+      // OR-pooling handled outside (no weights); drive = window sum.
+      const std::uint16_t ow = l.out_w(), oh = l.out_h();
+      for (std::uint16_t c = 0; c < l.in_ch; ++c)
+        for (std::uint16_t oy = 0; oy < oh; ++oy)
+          for (std::uint16_t ox = 0; ox < ow; ++ox) {
+            double acc = 0.0;
+            for (std::uint16_t ky = 0; ky < l.kernel; ++ky)
+              for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+                const std::uint16_t iy = oy * l.stride + ky;
+                const std::uint16_t ix = ox * l.stride + kx;
+                if (iy >= l.in_h || ix >= l.in_w) continue;
+                acc += s_in[flat_index(c, iy, ix, l.in_h, l.in_w)];
+              }
+            drive[flat_index(c, oy, ox, oh, ow)] = static_cast<float>(acc);
+          }
+      return;
+    }
+    case LayerSpec::Type::kConv: {
+      const std::uint16_t ow = l.out_w(), oh = l.out_h();
+      parallel_for(0, l.out_ch, [&](std::size_t oc) {
+        for (std::uint16_t oy = 0; oy < oh; ++oy)
+          for (std::uint16_t ox = 0; ox < ow; ++ox) {
+            double acc = 0.0;
+            for (std::uint16_t ic = 0; ic < l.in_ch; ++ic)
+              for (std::uint16_t ky = 0; ky < l.kernel; ++ky) {
+                const int iy = static_cast<int>(oy) * l.stride - l.pad + ky;
+                if (iy < 0 || iy >= l.in_h) continue;
+                for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+                  const int ix = static_cast<int>(ox) * l.stride - l.pad + kx;
+                  if (ix < 0 || ix >= l.in_w) continue;
+                  const float w =
+                      l.weights[((oc * l.in_ch + ic) * l.kernel + ky) *
+                                    l.kernel +
+                                kx];
+                  acc += w * s_in[flat_index(ic, static_cast<std::uint16_t>(iy),
+                                             static_cast<std::uint16_t>(ix),
+                                             l.in_h, l.in_w)];
+                }
+              }
+            drive[flat_index(static_cast<std::uint16_t>(oc), oy, ox, oh, ow)] =
+                static_cast<float>(acc);
+          }
+      });
+      return;
+    }
+  }
+}
+
+/// Transpose of forward_op: scatters output-side gradient to the input side
+/// and accumulates weight gradients.
+void backward_op(const LayerSpec& l, const std::vector<float>& s_in,
+                 const std::vector<float>& g_drive, std::vector<float>& g_in,
+                 std::vector<float>& g_w) {
+  switch (l.type) {
+    case LayerSpec::Type::kFc: {
+      const std::size_t n_in = l.in_flat();
+      for (std::size_t o = 0; o < l.out_ch; ++o) {
+        const float g = g_drive[o];
+        if (g == 0.0f) continue;
+        const float* w = l.weights.data() + o * n_in;
+        float* gw = g_w.data() + o * n_in;
+        for (std::size_t i = 0; i < n_in; ++i) {
+          gw[i] += g * s_in[i];
+          g_in[i] += g * w[i];
+        }
+      }
+      return;
+    }
+    case LayerSpec::Type::kPool: {
+      // Straight-through: every input position of the window receives the
+      // output gradient.
+      const std::uint16_t ow = l.out_w(), oh = l.out_h();
+      for (std::uint16_t c = 0; c < l.in_ch; ++c)
+        for (std::uint16_t oy = 0; oy < oh; ++oy)
+          for (std::uint16_t ox = 0; ox < ow; ++ox) {
+            const float g = g_drive[flat_index(c, oy, ox, oh, ow)];
+            if (g == 0.0f) continue;
+            for (std::uint16_t ky = 0; ky < l.kernel; ++ky)
+              for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+                const std::uint16_t iy = oy * l.stride + ky;
+                const std::uint16_t ix = ox * l.stride + kx;
+                if (iy >= l.in_h || ix >= l.in_w) continue;
+                g_in[flat_index(c, iy, ix, l.in_h, l.in_w)] += g;
+              }
+          }
+      return;
+    }
+    case LayerSpec::Type::kConv: {
+      const std::uint16_t ow = l.out_w(), oh = l.out_h();
+      for (std::uint16_t oc = 0; oc < l.out_ch; ++oc)
+        for (std::uint16_t oy = 0; oy < oh; ++oy)
+          for (std::uint16_t ox = 0; ox < ow; ++ox) {
+            const float g = g_drive[flat_index(oc, oy, ox, oh, ow)];
+            if (g == 0.0f) continue;
+            for (std::uint16_t ic = 0; ic < l.in_ch; ++ic)
+              for (std::uint16_t ky = 0; ky < l.kernel; ++ky) {
+                const int iy = static_cast<int>(oy) * l.stride - l.pad + ky;
+                if (iy < 0 || iy >= l.in_h) continue;
+                for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+                  const int ix = static_cast<int>(ox) * l.stride - l.pad + kx;
+                  if (ix < 0 || ix >= l.in_w) continue;
+                  const std::size_t widx =
+                      ((static_cast<std::size_t>(oc) * l.in_ch + ic) * l.kernel +
+                       ky) *
+                          l.kernel +
+                      kx;
+                  const std::size_t iidx =
+                      flat_index(ic, static_cast<std::uint16_t>(iy),
+                                 static_cast<std::uint16_t>(ix), l.in_h, l.in_w);
+                  g_w[widx] += g * s_in[iidx];
+                  g_in[iidx] += g * l.weights[widx];
+                }
+              }
+          }
+      return;
+    }
+  }
+}
+
+/// Rasterizes an event stream into dense per-timestep spike vectors
+/// (duplicate events accumulate, matching per-event integration downstream).
+std::vector<std::vector<float>> rasterize(const event::EventStream& s) {
+  const auto& g = s.geometry();
+  std::vector<std::vector<float>> dense(
+      g.timesteps,
+      std::vector<float>(static_cast<std::size_t>(g.channels) * g.width * g.height,
+                         0.0f));
+  for (const event::Event& e : s.events()) {
+    if (e.op != event::Op::kUpdate) continue;
+    dense[e.t][flat_index(e.ch, e.y, e.x, g.height, g.width)] += 1.0f;
+  }
+  return dense;
+}
+
+}  // namespace
+
+Trainer::Trainer(ecnn::Network net, TrainConfig cfg)
+    : net_(std::move(net)), cfg_(cfg) {
+  net_.validate();
+  SNE_EXPECTS(cfg_.epochs >= 1 && cfg_.lr > 0.0);
+  Rng rng(cfg_.seed);
+  adam_m_.resize(net_.layers.size());
+  adam_v_.resize(net_.layers.size());
+  for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+    LayerSpec& l = net_.layers[li];
+    l.threshold = static_cast<float>(cfg_.threshold);
+    l.leak = static_cast<float>(cfg_.leak);
+    if (l.type == LayerSpec::Type::kPool) continue;
+    const double fan_in =
+        l.type == LayerSpec::Type::kFc
+            ? static_cast<double>(l.in_flat())
+            : static_cast<double>(l.in_ch) * l.kernel * l.kernel;
+    const double bound = cfg_.weight_init_gain / std::sqrt(fan_in);
+    for (float& w : l.weights)
+      w = static_cast<float>(rng.uniform(-bound, bound));
+    adam_m_[li].assign(l.weights.size(), 0.0f);
+    adam_v_[li].assign(l.weights.size(), 0.0f);
+  }
+}
+
+namespace {
+
+/// Pure dense forward of one layer (no recording): shared by inference,
+/// evaluation and threshold calibration. `threshold_override` < 0 uses the
+/// layer's own threshold.
+std::vector<std::vector<float>> forward_layer_dense(
+    const LayerSpec& l, NeuronModel model, const TrainConfig& cfg,
+    const std::vector<std::vector<float>>& in, double threshold_override = -1.0) {
+  const std::size_t T = in.size();
+  const double th = threshold_override >= 0.0 ? threshold_override
+                                              : static_cast<double>(l.threshold);
+  const double a_s = std::exp(-1.0 / cfg.tau_s);
+  const double a_m = std::exp(-1.0 / cfg.tau_m);
+  std::vector<std::vector<float>> out(T);
+  std::vector<double> v(l.out_flat(), 0.0), syn(l.out_flat(), 0.0),
+      refr(l.out_flat(), 0.0);
+  std::vector<float> drive;
+  for (std::size_t t = 0; t < T; ++t) {
+    forward_op(l, in[t], drive);
+    out[t].assign(l.out_flat(), 0.0f);
+    for (std::size_t i = 0; i < l.out_flat(); ++i) {
+      if (l.type == LayerSpec::Type::kPool) {
+        out[t][i] = drive[i] > 0.0f ? 1.0f : 0.0f;  // OR-pooling
+        continue;
+      }
+      double vp;
+      if (model == NeuronModel::kSneLif) {
+        vp = leak_toward_zero(v[i], cfg.leak) + drive[i];
+      } else {
+        syn[i] = a_s * syn[i] + drive[i];
+        vp = a_m * v[i] + syn[i] - refr[i];
+        refr[i] *= std::exp(-1.0 / 2.0);
+      }
+      const bool spike = vp > th;
+      out[t][i] = spike ? 1.0f : 0.0f;
+      if (spike && model == NeuronModel::kSrm) refr[i] += 2.0 * th;
+      v[i] = spike ? 0.0 : vp;
+    }
+  }
+  return out;
+}
+
+double spike_rate(const std::vector<std::vector<float>>& spikes) {
+  if (spikes.empty() || spikes[0].empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& step : spikes)
+    for (float s : step) acc += s;
+  return acc / (static_cast<double>(spikes.size()) *
+                static_cast<double>(spikes[0].size()));
+}
+
+}  // namespace
+
+void Trainer::calibrate_thresholds(const data::Dataset& calib,
+                                   double target_gain,
+                                   std::size_t max_samples) {
+  SNE_EXPECTS(!calib.samples.empty() && target_gain > 0.0);
+  const std::size_t n =
+      std::min<std::size_t>(max_samples, calib.samples.size());
+  std::vector<std::vector<std::vector<float>>> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    inputs.push_back(rasterize(calib.samples[i].stream));
+
+  const double kRateFloor = cfg_.rate_floor;  // no layer starts dead
+  for (LayerSpec& l : net_.layers) {
+    if (l.type == LayerSpec::Type::kPool) {
+      for (auto& in : inputs)
+        in = forward_layer_dense(l, cfg_.model, cfg_, in);
+      continue;
+    }
+    double in_rate = 0.0;
+    for (const auto& in : inputs) in_rate += spike_rate(in);
+    in_rate /= static_cast<double>(n);
+    const double target = std::max(in_rate * target_gain, kRateFloor);
+
+    double lo = 1e-3, hi = 30.0;
+    for (int iter = 0; iter < 22; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      double out_rate = 0.0;
+      for (const auto& in : inputs)
+        out_rate += spike_rate(forward_layer_dense(l, cfg_.model, cfg_, in, mid));
+      out_rate /= static_cast<double>(n);
+      if (out_rate > target)
+        lo = mid;  // too active -> raise threshold
+      else
+        hi = mid;
+    }
+    l.threshold = static_cast<float>(0.5 * (lo + hi));
+    for (auto& in : inputs)
+      in = forward_layer_dense(l, cfg_.model, cfg_, in);
+  }
+}
+
+std::vector<double> Trainer::forward_counts(
+    const event::EventStream& stream) const {
+  const std::uint16_t T = stream.geometry().timesteps;
+  std::vector<std::vector<float>> spikes = rasterize(stream);
+  for (const LayerSpec& l : net_.layers)
+    spikes = forward_layer_dense(l, cfg_.model, cfg_, spikes);
+
+  std::vector<double> counts(net_.layers.back().out_ch, 0.0);
+  for (std::uint16_t t = 0; t < T; ++t)
+    for (std::size_t k = 0; k < counts.size(); ++k) counts[k] += spikes[t][k];
+  return counts;
+}
+
+double Trainer::evaluate(const data::Dataset& ds) const {
+  if (ds.samples.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const data::Sample& s : ds.samples) {
+    const std::vector<double> counts = forward_counts(s.stream);
+    const std::size_t pred = static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    if (pred == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.samples.size());
+}
+
+std::vector<EpochStats> Trainer::fit(const data::Dataset& train) {
+  SNE_EXPECTS(!train.samples.empty());
+  const std::uint16_t T = train.geometry.timesteps;
+  const std::size_t classes = net_.layers.back().out_ch;
+  const double a_s = std::exp(-1.0 / cfg_.tau_s);
+  const double a_m = std::exp(-1.0 / cfg_.tau_m);
+  const double count_scale = cfg_.logit_scale;
+
+  std::vector<EpochStats> history;
+  Rng shuffle_rng(cfg_.seed ^ 0xABCDEF);
+
+  std::vector<std::size_t> order(train.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::uint32_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[static_cast<std::size_t>(shuffle_rng.uniform_int(
+                                  0, static_cast<std::int64_t>(i) - 1))]);
+    double loss_acc = 0.0;
+    std::size_t correct = 0;
+
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const data::Sample& sample = train.samples[order[oi]];
+
+      // ---------------- forward, recording everything ----------------
+      std::vector<LayerState> states(net_.layers.size());
+      std::vector<std::vector<float>> spikes = rasterize(sample.stream);
+      std::vector<std::vector<std::vector<float>>> syn_rec(net_.layers.size());
+
+      for (std::size_t li = 0; li < net_.layers.size(); ++li) {
+        const LayerSpec& l = net_.layers[li];
+        LayerState& st = states[li];
+        st.n_in = l.in_flat();
+        st.n_out = l.out_flat();
+        st.in_spikes = spikes;
+        st.drive.resize(T);
+        st.v_pre.resize(T);
+        st.spikes.resize(T);
+        syn_rec[li].assign(T, {});
+
+        std::vector<double> v(st.n_out, 0.0), syn(st.n_out, 0.0),
+            refr(st.n_out, 0.0);
+        for (std::uint16_t t = 0; t < T; ++t) {
+          forward_op(l, st.in_spikes[t], st.drive[t]);
+          st.v_pre[t].assign(st.n_out, 0.0f);
+          st.spikes[t].assign(st.n_out, 0.0f);
+          for (std::size_t i = 0; i < st.n_out; ++i) {
+            if (l.type == LayerSpec::Type::kPool) {
+              st.spikes[t][i] = st.drive[t][i] > 0.0f ? 1.0f : 0.0f;
+              continue;
+            }
+            double vp;
+            if (cfg_.model == NeuronModel::kSneLif) {
+              vp = leak_toward_zero(v[i], cfg_.leak) + st.drive[t][i];
+            } else {
+              syn[i] = a_s * syn[i] + st.drive[t][i];
+              vp = a_m * v[i] + syn[i] - refr[i];
+              refr[i] *= std::exp(-0.5);
+            }
+            st.v_pre[t][i] = static_cast<float>(vp);
+            const bool spike = vp > l.threshold;
+            st.spikes[t][i] = spike ? 1.0f : 0.0f;
+            if (spike && cfg_.model == NeuronModel::kSrm)
+              refr[i] += 2.0 * l.threshold;
+            v[i] = spike ? 0.0 : vp;
+          }
+        }
+        spikes = st.spikes;
+      }
+
+      // ---------------- loss on output spike counts ----------------
+      std::vector<double> counts(classes, 0.0);
+      for (std::uint16_t t = 0; t < T; ++t)
+        for (std::size_t k = 0; k < classes; ++k) counts[k] += spikes[t][k];
+      const double max_logit =
+          *std::max_element(counts.begin(), counts.end()) * count_scale;
+      double z = 0.0;
+      std::vector<double> p(classes);
+      for (std::size_t k = 0; k < classes; ++k) {
+        p[k] = std::exp(counts[k] * count_scale - max_logit);
+        z += p[k];
+      }
+      for (auto& pk : p) pk /= z;
+      loss_acc += -std::log(std::max(p[sample.label], 1e-12));
+      const std::size_t pred = static_cast<std::size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+      if (pred == sample.label) ++correct;
+
+      // dL/dS_out[k][t] is constant over t.
+      std::vector<float> g_count(classes);
+      for (std::size_t k = 0; k < classes; ++k)
+        g_count[k] = static_cast<float>(
+            (p[k] - (k == sample.label ? 1.0 : 0.0)) * count_scale);
+
+      // ---------------- backward through layers and time ----------------
+      // g_spikes[t][i]: dL/d(output spike) of the current layer.
+      std::vector<std::vector<float>> g_spikes(
+          T, std::vector<float>(classes, 0.0f));
+      for (std::uint16_t t = 0; t < T; ++t) g_spikes[t] = g_count;
+
+      for (std::size_t li = net_.layers.size(); li-- > 0;) {
+        const LayerSpec& l = net_.layers[li];
+        LayerState& st = states[li];
+        std::vector<std::vector<float>> g_in_spikes(
+            T, std::vector<float>(st.n_in, 0.0f));
+
+        if (l.type == LayerSpec::Type::kPool) {
+          std::vector<float> g_w_unused;
+          for (std::uint16_t t = 0; t < T; ++t)
+            backward_op(l, st.in_spikes[t], g_spikes[t], g_in_spikes[t],
+                        g_w_unused);
+          g_spikes = std::move(g_in_spikes);
+          continue;
+        }
+
+        std::vector<float> g_w(l.weights.size(), 0.0f);
+        std::vector<double> g_v_post(st.n_out, 0.0);  // dL/dV[t] (post-reset)
+        std::vector<double> g_syn(st.n_out, 0.0);     // SRM: dL/di[t]
+        std::vector<float> g_drive(st.n_out, 0.0f);
+
+        for (std::uint16_t t = T; t-- > 0;) {
+          for (std::size_t i = 0; i < st.n_out; ++i) {
+            const double vp = st.v_pre[t][i];
+            const bool spiked = st.spikes[t][i] > 0.5f;
+            // dL/dVp[t]: surrogate spike path + state path (reset detached).
+            double g_vp =
+                static_cast<double>(g_spikes[t][i]) *
+                    surrogate(vp, l.threshold, cfg_.surrogate_width) +
+                (spiked ? 0.0 : g_v_post[i]);
+            if (cfg_.model == NeuronModel::kSneLif) {
+              g_drive[i] = static_cast<float>(g_vp);
+              // V[t-1] feeds Vp[t] through the leak.
+              g_v_post[i] = g_vp * leak_gradient(vp, cfg_.leak);
+            } else {
+              // Vp[t] = a_m V[t-1] + i[t] - r; i[t] = a_s i[t-1] + I[t].
+              const double gi = g_vp + g_syn[i];
+              g_drive[i] = static_cast<float>(gi);
+              g_syn[i] = gi * a_s;
+              g_v_post[i] = g_vp * a_m;
+            }
+          }
+          backward_op(l, st.in_spikes[t], g_drive, g_in_spikes[t], g_w);
+        }
+
+        // Adam update for this layer.
+        adam_t_++;
+        const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
+        const double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
+        const double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
+        LayerSpec& lw = net_.layers[li];
+        for (std::size_t w = 0; w < lw.weights.size(); ++w) {
+          adam_m_[li][w] = static_cast<float>(b1 * adam_m_[li][w] + (1 - b1) * g_w[w]);
+          adam_v_[li][w] = static_cast<float>(b2 * adam_v_[li][w] +
+                                              (1 - b2) * g_w[w] * g_w[w]);
+          const double mhat = adam_m_[li][w] / bc1;
+          const double vhat = adam_v_[li][w] / bc2;
+          lw.weights[w] -=
+              static_cast<float>(cfg_.lr * mhat / (std::sqrt(vhat) + eps));
+        }
+
+        g_spikes = std::move(g_in_spikes);
+      }
+    }
+
+    EpochStats es;
+    es.loss = loss_acc / static_cast<double>(order.size());
+    es.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(order.size());
+    history.push_back(es);
+  }
+  return history;
+}
+
+}  // namespace sne::train

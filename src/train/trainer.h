@@ -1,0 +1,97 @@
+// Surrogate-gradient trainer (the SLAYER substitute for Table I).
+//
+// The paper trains its Fig. 6 network twice in SLAYER: once with the default
+// SRM neuron (baseline) and once with a custom neuron implementing SNE's
+// quantization-friendly linear-leak LIF dynamics, then compares accuracy.
+// We reproduce that protocol with a from-scratch BPTT trainer:
+//
+//  * forward: dense spiking simulation over T timesteps of the eCNN
+//    (conv / OR-pool / fc), with either
+//      - kSneLif: V[t] = leak_toward_zero(V[t-1]) + I[t], spike if V > th,
+//        reset to zero (bit-compatible with neuron::LifNeuron up to float
+//        rounding), or
+//      - kSrm: synaptic current + membrane exponential filters with
+//        refractory reset (neuron::SrmNeuron dynamics);
+//  * backward: BPTT with the SuperSpike surrogate
+//        dS/dV ~= 1 / (1 + |V - th| / w)^2
+//    through time and space; OR-pooling backpropagates straight-through;
+//  * loss: softmax cross-entropy on output spike counts;
+//  * optimizer: Adam.
+//
+// After training with kSneLif, weights/threshold/leak are quantized with
+// ecnn::quantize and evaluated with the *integer* golden executor — that
+// quantized accuracy is what Table I reports as "eCNN (SNE-LIF-4b)".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "ecnn/layer.h"
+#include "event/event_stream.h"
+
+namespace sne::train {
+
+enum class NeuronModel : std::uint8_t { kSneLif, kSrm };
+
+struct TrainConfig {
+  NeuronModel model = NeuronModel::kSneLif;
+  double lr = 2e-3;
+  std::uint32_t epochs = 20;
+  double threshold = 1.0;        ///< firing threshold used during training
+  double leak = 0.08;            ///< kSneLif: linear decay per step
+  double tau_s = 2.0;            ///< kSrm: synaptic time constant
+  double tau_m = 8.0;            ///< kSrm: membrane time constant
+  double surrogate_width = 0.5;  ///< SuperSpike sharpness
+  double weight_init_gain = 1.2;
+  double logit_scale = 0.5;      ///< spike-count -> logit scaling in the loss
+  double rate_floor = 0.02;      ///< calibration: minimum layer spike rate
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  /// `net` supplies the topology; its weights are (re-)initialized.
+  Trainer(ecnn::Network net, TrainConfig cfg);
+
+  /// Data-driven threshold initialization: per layer (input to output),
+  /// bisects the firing threshold so the layer's mean output spike rate is
+  /// `target_gain` times its mean input spike rate on a calibration batch
+  /// (clamped below by a small floor so no layer starts dead). This is the
+  /// standard SNN practice that keeps activity alive through depth; without
+  /// it, deep layers never fire at init and receive no surrogate gradient.
+  void calibrate_thresholds(const data::Dataset& calib,
+                            double target_gain = 1.0,
+                            std::size_t max_samples = 6);
+
+  /// One pass of SGD over the (shuffled) training set per epoch.
+  std::vector<EpochStats> fit(const data::Dataset& train);
+
+  /// Accuracy of the float model on a dataset.
+  double evaluate(const data::Dataset& ds) const;
+
+  /// Output spike counts per class for one sample (float model).
+  std::vector<double> forward_counts(const event::EventStream& stream) const;
+
+  /// The network with trained weights and the training-time threshold/leak
+  /// recorded per layer (input to ecnn::quantize for SNE deployment).
+  const ecnn::Network& network() const { return net_; }
+
+ private:
+  struct LayerState;  // forward/backward scratch, defined in trainer.cpp
+
+  ecnn::Network net_;
+  TrainConfig cfg_;
+  // Adam state per layer (same size as weights).
+  std::vector<std::vector<float>> adam_m_;
+  std::vector<std::vector<float>> adam_v_;
+  std::uint64_t adam_t_ = 0;
+};
+
+}  // namespace sne::train

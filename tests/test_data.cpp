@@ -1,0 +1,144 @@
+// Synthetic dataset generator tests: determinism, activity bands, labels,
+// split protocol.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+
+namespace sne::data {
+namespace {
+
+TEST(RandomStream, HitsTargetActivity) {
+  const auto s = random_stream({2, 32, 32, 50}, 0.03, 42);
+  EXPECT_NEAR(s.activity(), 0.03, 0.004);
+}
+
+TEST(RandomStream, DeterministicPerSeed) {
+  const auto a = random_stream({1, 16, 16, 10}, 0.05, 7);
+  const auto b = random_stream({1, 16, 16, 10}, 0.05, 7);
+  const auto c = random_stream({1, 16, 16, 10}, 0.05, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.size(), 0u);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GestureDataset, ShapeAndLabels) {
+  GestureConfig cfg;
+  cfg.samples_per_class = 3;
+  const Dataset d = make_gesture_dataset(cfg);
+  EXPECT_EQ(d.classes, 11);
+  EXPECT_EQ(d.samples.size(), 33u);
+  std::set<std::uint16_t> labels;
+  for (const Sample& s : d.samples) {
+    labels.insert(s.label);
+    EXPECT_EQ(s.stream.geometry().channels, 2);
+    EXPECT_EQ(s.stream.geometry().width, cfg.width);
+    EXPECT_TRUE(s.stream.is_normalized());
+    EXPECT_GT(s.stream.update_count(), 0u);
+  }
+  EXPECT_EQ(labels.size(), 11u);
+}
+
+TEST(GestureDataset, ActivityInPaperBand) {
+  // The paper measures 1.2% - 4.9% network activity on DVS-Gesture; the
+  // generator's input activity must land in a compatible band.
+  const Dataset d = make_gesture_dataset(GestureConfig{});
+  const double act = d.mean_activity();
+  EXPECT_GT(act, 0.005);
+  EXPECT_LT(act, 0.06);
+}
+
+TEST(GestureDataset, DeterministicPerSeed) {
+  GestureConfig cfg;
+  cfg.samples_per_class = 2;
+  const Dataset a = make_gesture_dataset(cfg);
+  const Dataset b = make_gesture_dataset(cfg);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    EXPECT_EQ(a.samples[i].stream, b.samples[i].stream);
+}
+
+TEST(GestureDataset, ClassesAreDistinguishableBySpatialHistogram) {
+  // Different trajectories must produce measurably different event
+  // distributions (otherwise the classification task is vacuous).
+  GestureConfig cfg;
+  cfg.samples_per_class = 2;
+  const Dataset d = make_gesture_dataset(cfg);
+  const auto histogram = [&](const event::EventStream& s) {
+    std::vector<double> h(16, 0.0);
+    for (const auto& e : s.events()) {
+      const int qx = e.x * 4 / cfg.width, qy = e.y * 4 / cfg.height;
+      h[static_cast<std::size_t>(qy * 4 + qx)] += 1.0;
+    }
+    double total = 0;
+    for (double v : h) total += v;
+    for (double& v : h) v /= total;
+    return h;
+  };
+  // Same-class samples should be closer than cross-class on average.
+  double intra = 0, inter = 0;
+  int n_intra = 0, n_inter = 0;
+  std::vector<std::vector<double>> hists;
+  for (const Sample& s : d.samples) hists.push_back(histogram(s.stream));
+  for (std::size_t i = 0; i < d.samples.size(); ++i)
+    for (std::size_t j = i + 1; j < d.samples.size(); ++j) {
+      double dist = 0;
+      for (std::size_t k = 0; k < 16; ++k)
+        dist += std::abs(hists[i][k] - hists[j][k]);
+      if (d.samples[i].label == d.samples[j].label) {
+        intra += dist;
+        ++n_intra;
+      } else {
+        inter += dist;
+        ++n_inter;
+      }
+    }
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(NmnistDataset, ShapeAndDeterminism) {
+  NmnistConfig cfg;
+  cfg.samples_per_class = 2;
+  const Dataset a = make_nmnist_dataset(cfg);
+  const Dataset b = make_nmnist_dataset(cfg);
+  EXPECT_EQ(a.classes, 10);
+  EXPECT_EQ(a.samples.size(), 20u);
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].stream, b.samples[i].stream);
+    EXPECT_GT(a.samples[i].stream.update_count(), 0u);
+    EXPECT_EQ(a.samples[i].stream.geometry().width, 34);
+  }
+}
+
+TEST(DatasetSplitTest, FractionsAndDisjointness) {
+  GestureConfig cfg;
+  cfg.samples_per_class = 8;  // 88 samples
+  const Dataset d = make_gesture_dataset(cfg);
+  // The paper's DVS-Gesture protocol: 65/10/25.
+  const DatasetSplit sp = d.split(0.65, 0.10, 99);
+  EXPECT_EQ(sp.train.samples.size() + sp.val.samples.size() +
+                sp.test.samples.size(),
+            d.samples.size());
+  EXPECT_NEAR(static_cast<double>(sp.train.samples.size()) /
+                  static_cast<double>(d.samples.size()),
+              0.65, 0.03);
+  EXPECT_GT(sp.test.samples.size(), sp.val.samples.size());
+}
+
+TEST(DatasetSplitTest, DeterministicShuffle) {
+  const Dataset d = make_gesture_dataset(GestureConfig{});
+  const DatasetSplit a = d.split(0.65, 0.10, 7);
+  const DatasetSplit b = d.split(0.65, 0.10, 7);
+  ASSERT_EQ(a.train.samples.size(), b.train.samples.size());
+  for (std::size_t i = 0; i < a.train.samples.size(); ++i)
+    EXPECT_EQ(a.train.samples[i].label, b.train.samples[i].label);
+}
+
+TEST(DatasetSplitTest, RejectsBadFractions) {
+  const Dataset d = make_gesture_dataset(GestureConfig{});
+  EXPECT_THROW(d.split(0.9, 0.2, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sne::data

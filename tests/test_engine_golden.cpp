@@ -1,0 +1,227 @@
+// The backbone equivalence suite: the cycle-accurate engine must emit
+// exactly the golden executor's spike train for any layer and stimulus.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/golden.h"
+#include "ecnn/mapper.h"
+#include "ecnn/runner.h"
+#include "test_util.h"
+
+namespace sne {
+namespace {
+
+using ecnn::GoldenExecutor;
+using ecnn::LayerSpec;
+using ecnn::QuantizedLayerSpec;
+using testutil::canonical_spikes;
+
+/// Builds a random quantized conv layer.
+QuantizedLayerSpec random_conv(Rng& rng, std::uint16_t in_ch, std::uint16_t in_w,
+                               std::uint16_t in_h, std::uint16_t out_ch,
+                               std::uint8_t kernel, std::uint8_t stride,
+                               std::uint8_t pad) {
+  QuantizedLayerSpec l;
+  l.type = LayerSpec::Type::kConv;
+  l.name = "rand_conv";
+  l.in_ch = in_ch;
+  l.in_w = in_w;
+  l.in_h = in_h;
+  l.out_ch = out_ch;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.pad = pad;
+  l.weights.resize(static_cast<std::size_t>(out_ch) * in_ch * kernel * kernel);
+  for (auto& w : l.weights)
+    w = static_cast<std::int8_t>(rng.uniform_int(-8, 7));
+  l.lif.leak = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+  l.lif.v_th = static_cast<std::int32_t>(rng.uniform_int(1, 12));
+  return l;
+}
+
+/// Runs one layer on the engine through the full mapper/runner path and
+/// compares spikes against the golden executor.
+void expect_layer_equivalence(const QuantizedLayerSpec& layer,
+                              const event::EventStream& input,
+                              std::uint32_t num_slices,
+                              event::FirePolicy policy =
+                                  event::FirePolicy::kActiveStepsOnly) {
+  core::SneConfig hw = core::SneConfig::paper_design_point(num_slices);
+  core::SneEngine engine(hw);
+  ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/true);
+  ecnn::QuantizedNetwork net;
+  net.layers.push_back(layer);
+  const ecnn::NetworkRunStats hw_stats = runner.run(net, input, policy);
+  const GoldenExecutor::LayerTrace gold =
+      GoldenExecutor::run_layer(layer, input, policy);
+  const auto hw_spikes = canonical_spikes(hw_stats.final_output);
+  const auto gold_spikes = canonical_spikes(gold.output);
+  ASSERT_EQ(hw_spikes.size(), gold_spikes.size())
+      << "spike count mismatch (hw vs golden)";
+  for (std::size_t i = 0; i < hw_spikes.size(); ++i)
+    ASSERT_EQ(hw_spikes[i], gold_spikes[i]) << "spike " << i << " differs";
+}
+
+TEST(EngineGolden, SingleEventSingleSlice) {
+  Rng rng(7);
+  auto layer = random_conv(rng, 1, 16, 16, 1, 3, 1, 1);
+  layer.lif.v_th = 1;
+  // Make all weights strongly positive so one event certainly fires a 3x3
+  // neighbourhood.
+  for (auto& w : layer.weights) w = 7;
+  event::EventStream in(event::StreamGeometry{1, 16, 16, 4});
+  in.push_update(1, 0, 5, 6);
+  expect_layer_equivalence(layer, in, 1);
+}
+
+TEST(EngineGolden, DenseStimulusSmallConv) {
+  Rng rng(11);
+  auto layer = random_conv(rng, 2, 16, 16, 4, 3, 1, 1);
+  const auto in = data::random_stream({2, 16, 16, 10}, 0.08, 123);
+  expect_layer_equivalence(layer, in, 2);
+}
+
+TEST(EngineGolden, StridedConv) {
+  Rng rng(13);
+  auto layer = random_conv(rng, 2, 16, 16, 3, 3, 2, 1);
+  const auto in = data::random_stream({2, 16, 16, 8}, 0.05, 321);
+  expect_layer_equivalence(layer, in, 4);
+}
+
+TEST(EngineGolden, PoolingLayerIsOrPool) {
+  QuantizedLayerSpec pool;
+  pool.type = LayerSpec::Type::kPool;
+  pool.name = "pool2";
+  pool.in_ch = 4;
+  pool.in_w = 16;
+  pool.in_h = 16;
+  pool.out_ch = 4;
+  pool.kernel = 2;
+  pool.stride = 2;
+  pool.pad = 0;
+  pool.lif.leak = 0;
+  pool.lif.v_th = 0;
+  const auto in = data::random_stream({4, 16, 16, 6}, 0.06, 99);
+  expect_layer_equivalence(pool, in, 2);
+}
+
+TEST(EngineGolden, FcResidentSmall) {
+  // 16 positions x 16 clusters = 256 sets: buffer-resident FC.
+  Rng rng(17);
+  QuantizedLayerSpec fc;
+  fc.type = LayerSpec::Type::kFc;
+  fc.name = "fc_small";
+  fc.in_ch = 1;
+  fc.in_w = 4;
+  fc.in_h = 4;
+  fc.out_ch = 10;
+  fc.weights.resize(10 * 16);
+  for (auto& w : fc.weights) w = static_cast<std::int8_t>(rng.uniform_int(-8, 7));
+  fc.lif.leak = 1;
+  fc.lif.v_th = 5;
+  const auto in = data::random_stream({1, 4, 4, 12}, 0.25, 555);
+  expect_layer_equivalence(fc, in, 1);
+}
+
+TEST(EngineGolden, FcStreamedLarge) {
+  // 128 positions > 16 sets/cluster: streamed FC weights.
+  Rng rng(19);
+  QuantizedLayerSpec fc;
+  fc.type = LayerSpec::Type::kFc;
+  fc.name = "fc_large";
+  fc.in_ch = 8;
+  fc.in_w = 4;
+  fc.in_h = 4;
+  fc.out_ch = 40;
+  fc.weights.resize(static_cast<std::size_t>(40) * 128);
+  for (auto& w : fc.weights) w = static_cast<std::int8_t>(rng.uniform_int(-8, 7));
+  fc.lif.leak = 0;
+  fc.lif.v_th = 8;
+  const auto in = data::random_stream({8, 4, 4, 10}, 0.10, 777);
+  expect_layer_equivalence(fc, in, 1);
+}
+
+TEST(EngineGolden, MultiWindowLargeMap) {
+  // 48x40 output map does not fit one slice (max 32x32): spatial windows.
+  Rng rng(23);
+  auto layer = random_conv(rng, 1, 48, 40, 2, 3, 1, 1);
+  const auto in = data::random_stream({1, 48, 40, 6}, 0.03, 888);
+  expect_layer_equivalence(layer, in, 2);
+}
+
+TEST(EngineGolden, ManyChannelsMultiRound) {
+  // More output channels than one round can carry -> SW-managed loop.
+  Rng rng(29);
+  auto layer = random_conv(rng, 3, 12, 12, 20, 3, 1, 1);
+  const auto in = data::random_stream({3, 12, 12, 8}, 0.05, 999);
+  expect_layer_equivalence(layer, in, 2);
+}
+
+TEST(EngineGolden, EveryStepFirePolicy) {
+  Rng rng(31);
+  auto layer = random_conv(rng, 1, 12, 12, 2, 3, 1, 1);
+  layer.lif.leak = 2;  // leak matters on silent steps under kEveryStep
+  const auto in = data::random_stream({1, 12, 12, 12}, 0.02, 444);
+  expect_layer_equivalence(layer, in, 1, event::FirePolicy::kEveryStep);
+}
+
+TEST(EngineGolden, SilentStepSkipIsLossless) {
+  // With non-negative thresholds, skipping silent timesteps must not change
+  // the spike train (the TLU equivalence the design relies on).
+  Rng rng(37);
+  auto layer = random_conv(rng, 2, 10, 10, 3, 3, 1, 1);
+  layer.lif.leak = 1;
+  event::EventStream in(event::StreamGeometry{2, 10, 10, 20});
+  // Sparse bursts separated by long silences.
+  in.push_update(2, 0, 3, 3);
+  in.push_update(2, 1, 4, 4);
+  in.push_update(11, 0, 3, 4);
+  in.push_update(19, 1, 5, 5);
+  in.normalize();
+  const auto lazy =
+      GoldenExecutor::run_layer(layer, in, event::FirePolicy::kActiveStepsOnly);
+  const auto eager =
+      GoldenExecutor::run_layer(layer, in, event::FirePolicy::kEveryStep);
+  EXPECT_EQ(canonical_spikes(lazy.output), canonical_spikes(eager.output));
+}
+
+/// Parameterized sweep: random layers and stimuli across slice counts.
+struct SweepParam {
+  std::uint64_t seed;
+  std::uint32_t slices;
+  std::uint8_t kernel;
+  std::uint8_t stride;
+  std::uint8_t pad;
+};
+
+class EngineGoldenSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EngineGoldenSweep, RandomizedEquivalence) {
+  const SweepParam p = GetParam();
+  Rng rng(p.seed);
+  const std::uint16_t in_ch = static_cast<std::uint16_t>(rng.uniform_int(1, 3));
+  const std::uint16_t out_ch = static_cast<std::uint16_t>(rng.uniform_int(1, 6));
+  const std::uint16_t in_w = static_cast<std::uint16_t>(rng.uniform_int(8, 20));
+  const std::uint16_t in_h = static_cast<std::uint16_t>(rng.uniform_int(8, 20));
+  auto layer = random_conv(rng, in_ch, in_w, in_h, out_ch, p.kernel, p.stride,
+                           p.pad);
+  const double density = rng.uniform(0.01, 0.08);
+  const auto in = data::random_stream(
+      {in_ch, static_cast<std::uint8_t>(in_w), static_cast<std::uint8_t>(in_h),
+       8},
+      density, p.seed * 31 + 1);
+  expect_layer_equivalence(layer, in, p.slices);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsStridesSlices, EngineGoldenSweep,
+    ::testing::Values(SweepParam{101, 1, 3, 1, 1}, SweepParam{102, 2, 3, 1, 1},
+                      SweepParam{103, 4, 3, 1, 1}, SweepParam{104, 8, 3, 1, 1},
+                      SweepParam{105, 2, 5, 1, 2}, SweepParam{106, 2, 5, 2, 2},
+                      SweepParam{107, 4, 1, 1, 0}, SweepParam{108, 2, 2, 2, 0},
+                      SweepParam{109, 2, 4, 4, 0}, SweepParam{110, 1, 7, 1, 3},
+                      SweepParam{111, 8, 3, 2, 1}, SweepParam{112, 4, 2, 1, 1}));
+
+}  // namespace
+}  // namespace sne

@@ -1,0 +1,181 @@
+// Event format and stream container tests (paper Fig. 1 + section III-C).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "event/event.h"
+#include "event/event_io.h"
+#include "event/event_stream.h"
+
+namespace sne::event {
+namespace {
+
+TEST(EventFormat, FieldLayoutIs32Bits) {
+  EXPECT_EQ(kOpShift + kOpBits, 32);
+  EXPECT_EQ(kMaxX, 127u);
+  EXPECT_EQ(kMaxY, 127u);
+  EXPECT_EQ(kMaxCh, 255u);
+  EXPECT_EQ(kMaxTime, 255u);
+}
+
+TEST(EventFormat, PackUnpackRoundTrip) {
+  const Event e = Event::update(200, 255, 127, 127);
+  EXPECT_EQ(unpack(pack(e)), e);
+  const Event r = Event::reset(0);
+  EXPECT_EQ(unpack(pack(r)), r);
+  const Event f = Event::fire(99);
+  EXPECT_EQ(unpack(pack(f)), f);
+}
+
+TEST(EventFormat, RandomizedRoundTrip) {
+  Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    Event e;
+    e.op = static_cast<Op>(rng.uniform_int(0, 3));
+    e.t = static_cast<std::uint16_t>(rng.uniform_int(0, kMaxTime));
+    e.ch = static_cast<std::uint16_t>(rng.uniform_int(0, kMaxCh));
+    e.x = static_cast<std::uint8_t>(rng.uniform_int(0, kMaxX));
+    e.y = static_cast<std::uint8_t>(rng.uniform_int(0, kMaxY));
+    EXPECT_EQ(unpack(pack(e)), e);
+  }
+}
+
+TEST(EventFormat, EveryBeatDecodes) {
+  // Total decoder: no 32-bit pattern traps.
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Beat b = static_cast<Beat>(rng.next());
+    const Event e = unpack(b);
+    EXPECT_LE(e.t, kMaxTime);
+    EXPECT_LE(static_cast<std::uint32_t>(e.x), kMaxX);
+  }
+}
+
+TEST(EventFormat, PackRejectsOutOfRange) {
+  Event e = Event::update(0, 0, 0, 0);
+  e.t = 300;
+  EXPECT_THROW(pack(e), ContractViolation);
+}
+
+TEST(EventFormat, WeightBeatRoundTrip) {
+  const std::int8_t w[8] = {-8, -1, 0, 1, 7, -5, 3, -2};
+  const Beat b = pack_weights(w);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(unpack_weight(b, i), w[i]);
+}
+
+TEST(EventFormat, WeightHeaderRoundTrip) {
+  WeightHeader h{37, 5, 9};
+  const WeightHeader r = unpack_weight_header(pack(h));
+  EXPECT_EQ(r.set_index, h.set_index);
+  EXPECT_EQ(r.group_offset, h.group_offset);
+  EXPECT_EQ(r.payload_beats, h.payload_beats);
+}
+
+TEST(EventStreamTest, ActivityMetric) {
+  EventStream s(StreamGeometry{2, 4, 4, 10});
+  // volume = 2*4*4*10 = 320
+  for (int i = 0; i < 32; ++i)
+    s.push_update(static_cast<std::uint16_t>(i % 10), 0,
+                  static_cast<std::uint8_t>(i % 4), 1);
+  EXPECT_DOUBLE_EQ(s.activity(), 0.1);
+  EXPECT_EQ(s.update_count(), 32u);
+}
+
+TEST(EventStreamTest, NormalizeOrdersTimeMajorWithOpRank) {
+  EventStream s(StreamGeometry{1, 4, 4, 4});
+  s.push(Event::fire(1));
+  s.push(Event::update(1, 0, 2, 2));
+  s.push(Event::update(0, 0, 1, 1));
+  s.push(Event::reset(0));
+  s.normalize();
+  EXPECT_TRUE(s.is_normalized());
+  EXPECT_EQ(s.events()[0].op, Op::kReset);
+  EXPECT_EQ(s.events()[1].op, Op::kUpdate);
+  EXPECT_EQ(s.events()[1].t, 0);
+  EXPECT_EQ(s.events()[2].op, Op::kUpdate);
+  EXPECT_EQ(s.events()[3].op, Op::kFire);
+}
+
+TEST(EventStreamTest, ControlEventsActiveStepsOnly) {
+  EventStream s(StreamGeometry{1, 4, 4, 10});
+  s.push_update(2, 0, 1, 1);
+  s.push_update(7, 0, 2, 2);
+  const EventStream c = s.with_control_events(FirePolicy::kActiveStepsOnly);
+  std::size_t fires = 0, resets = 0;
+  for (const Event& e : c.events()) {
+    if (e.op == Op::kFire) ++fires;
+    if (e.op == Op::kReset) ++resets;
+  }
+  EXPECT_EQ(fires, 2u);  // only steps 2 and 7
+  EXPECT_EQ(resets, 1u);
+}
+
+TEST(EventStreamTest, ControlEventsEveryStep) {
+  EventStream s(StreamGeometry{1, 4, 4, 10});
+  s.push_update(2, 0, 1, 1);
+  const EventStream c = s.with_control_events(FirePolicy::kEveryStep);
+  std::size_t fires = 0;
+  for (const Event& e : c.events())
+    if (e.op == Op::kFire) ++fires;
+  EXPECT_EQ(fires, 10u);
+}
+
+TEST(EventStreamTest, BeatsRoundTrip) {
+  EventStream s(StreamGeometry{2, 8, 8, 4});
+  s.push_update(0, 1, 3, 4);
+  s.push_update(3, 0, 7, 7);
+  const auto beats = s.to_beats();
+  const EventStream r = EventStream::from_beats(beats, s.geometry());
+  EXPECT_EQ(r, s);
+}
+
+TEST(EventStreamTest, PushEnforcesGeometry) {
+  EventStream s(StreamGeometry{1, 4, 4, 4});
+  EXPECT_THROW(s.push_update(0, 1, 0, 0), ContractViolation);  // ch out of range
+  EXPECT_THROW(s.push_update(0, 0, 4, 0), ContractViolation);  // x out of range
+  EXPECT_THROW(s.push_update(4, 0, 0, 0), ContractViolation);  // t out of range
+}
+
+TEST(EventStreamTest, MergePreservesEventsAndNormalizes) {
+  EventStream a(StreamGeometry{1, 4, 4, 4});
+  a.push_update(1, 0, 1, 1);
+  EventStream b(StreamGeometry{1, 4, 4, 4});
+  b.push_update(0, 0, 2, 2);
+  const EventStream m = EventStream::merge(a, b);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.is_normalized());
+  EXPECT_EQ(m.events()[0].t, 0);
+}
+
+TEST(EventIo, FileRoundTrip) {
+  EventStream s(StreamGeometry{2, 16, 16, 8});
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i)
+    s.push_update(static_cast<std::uint16_t>(rng.uniform_int(0, 7)),
+                  static_cast<std::uint16_t>(rng.uniform_int(0, 1)),
+                  static_cast<std::uint8_t>(rng.uniform_int(0, 15)),
+                  static_cast<std::uint8_t>(rng.uniform_int(0, 15)));
+  s.normalize();
+  const std::string path = "/tmp/sne_stream_test.bin";
+  save_stream(s, path);
+  const EventStream r = load_stream(path);
+  EXPECT_EQ(r, s);
+  EXPECT_EQ(r.geometry().channels, 2);
+  EXPECT_EQ(r.geometry().timesteps, 8);
+  std::remove(path.c_str());
+}
+
+TEST(EventIo, RejectsBadMagic) {
+  const std::string path = "/tmp/sne_bad_magic.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    const std::uint32_t junk = 0xDEADBEEF;
+    f.write(reinterpret_cast<const char*>(&junk), 4);
+  }
+  EXPECT_THROW(load_stream(path), ConfigError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sne::event

@@ -1,0 +1,170 @@
+// Golden-executor semantics tests: the software reference itself must obey
+// the paper's execution model (Listing 1) precisely — these tests pin the
+// reference the hardware is verified against.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "ecnn/golden.h"
+#include "test_util.h"
+
+namespace sne::ecnn {
+namespace {
+
+QuantizedLayerSpec identity_conv(std::uint16_t size) {
+  QuantizedLayerSpec l;
+  l.type = LayerSpec::Type::kConv;
+  l.name = "identity";
+  l.in_ch = 1;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = 1;
+  l.kernel = 1;
+  l.stride = 1;
+  l.pad = 0;
+  l.weights = {7};
+  l.lif.v_th = 5;
+  l.lif.leak = 0;
+  return l;
+}
+
+TEST(GoldenSemantics, IdentityKernelEchoesEvents) {
+  const auto layer = identity_conv(8);
+  event::EventStream in(event::StreamGeometry{1, 8, 8, 4});
+  in.push_update(0, 0, 2, 3);
+  in.push_update(2, 0, 7, 7);
+  const auto trace = GoldenExecutor::run_layer(layer, in);
+  const auto spikes = testutil::canonical_spikes(trace.output);
+  ASSERT_EQ(spikes.size(), 2u);
+  EXPECT_EQ(spikes[0], event::Event::update(0, 0, 2, 3));
+  EXPECT_EQ(spikes[1], event::Event::update(2, 0, 7, 7));
+}
+
+TEST(GoldenSemantics, MembraneAccumulatesAcrossTimesteps) {
+  // Sub-threshold inputs at successive steps accumulate ("input synaptic
+  // contributions are accumulated in the state variable across the entire
+  // inference process", paper III-C).
+  auto layer = identity_conv(4);
+  layer.weights = {3};
+  layer.lif.v_th = 5;  // one event (3) is not enough; two are
+  event::EventStream in(event::StreamGeometry{1, 4, 4, 6});
+  in.push_update(0, 0, 1, 1);
+  in.push_update(1, 0, 1, 1);
+  const auto trace = GoldenExecutor::run_layer(layer, in);
+  const auto spikes = testutil::canonical_spikes(trace.output);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0].t, 1);  // fires at the second step
+}
+
+TEST(GoldenSemantics, LeakErasesOldEvidence) {
+  auto layer = identity_conv(4);
+  layer.weights = {3};
+  layer.lif.v_th = 5;
+  layer.lif.leak = 2;
+  event::EventStream in(event::StreamGeometry{1, 4, 4, 12});
+  in.push_update(0, 0, 1, 1);   // V=3
+  in.push_update(10, 0, 1, 1);  // leak over 10 steps wiped it; V=3 again
+  const auto trace = GoldenExecutor::run_layer(layer, in);
+  EXPECT_EQ(trace.output_events, 0u);
+}
+
+TEST(GoldenSemantics, PoolIsPerChannelOr) {
+  QuantizedLayerSpec pool;
+  pool.type = LayerSpec::Type::kPool;
+  pool.name = "p";
+  pool.in_ch = 2;
+  pool.in_w = 4;
+  pool.in_h = 4;
+  pool.out_ch = 2;
+  pool.kernel = 2;
+  pool.stride = 2;
+  pool.lif.v_th = 0;
+  event::EventStream in(event::StreamGeometry{2, 4, 4, 2});
+  // Two spikes in the same window, same channel, same step -> ONE output.
+  in.push_update(0, 1, 0, 0);
+  in.push_update(0, 1, 1, 1);
+  // A spike on the other channel -> its own output, same window position.
+  in.push_update(0, 0, 2, 2);
+  const auto trace = GoldenExecutor::run_layer(pool, in);
+  const auto spikes = testutil::canonical_spikes(trace.output);
+  ASSERT_EQ(spikes.size(), 2u);
+  EXPECT_EQ(spikes[0], event::Event::update(0, 0, 1, 1));
+  EXPECT_EQ(spikes[1], event::Event::update(0, 1, 0, 0));
+  // Depthwise: channel-0 spike did not touch channel-1 neurons.
+  EXPECT_EQ(trace.updates, 3u);
+}
+
+TEST(GoldenSemantics, FcAddressingRoundTrips) {
+  // An FC layer's shaped output must decode back to the flat neuron id via
+  // fc_flat_index of the downstream consumer.
+  QuantizedLayerSpec fc;
+  fc.type = LayerSpec::Type::kFc;
+  fc.name = "fc";
+  fc.in_ch = 1;
+  fc.in_w = 2;
+  fc.in_h = 2;
+  fc.out_ch = 300;  // shapes to (150, 2, 1)
+  fc.weights.assign(300 * 4, 0);
+  // Only neuron 259 listens to input position 1.
+  fc.weights[259 * 4 + 1] = 7;
+  fc.lif.v_th = 3;
+  event::EventStream in(event::StreamGeometry{1, 2, 2, 2});
+  in.push_update(0, 0, 1, 0);  // flat position 1
+  const auto trace = GoldenExecutor::run_layer(fc, in);
+  const auto spikes = testutil::canonical_spikes(trace.output);
+  ASSERT_EQ(spikes.size(), 1u);
+  // Shape (150, 2, 1): id 259 -> ch 129, x 1, y 0.
+  EXPECT_EQ(spikes[0].ch, 129);
+  EXPECT_EQ(spikes[0].x, 1);
+  const auto counts = GoldenExecutor::class_spike_counts(trace.output, 300);
+  EXPECT_EQ(counts[259], 1u);
+}
+
+TEST(GoldenSemantics, SaturationIsOrderSensitiveButDeterministic) {
+  // Saturating adds do not commute; the executor must process events in
+  // stream order so repeated runs are bit-identical.
+  auto layer = identity_conv(4);
+  layer.lif.v_th = 127;
+  event::EventStream in(event::StreamGeometry{1, 4, 4, 2});
+  for (int i = 0; i < 40; ++i) in.push_update(0, 0, 1, 1);  // drive to +127
+  const auto a = GoldenExecutor::run_layer(layer, in);
+  const auto b = GoldenExecutor::run_layer(layer, in);
+  EXPECT_EQ(testutil::canonical_spikes(a.output),
+            testutil::canonical_spikes(b.output));
+}
+
+TEST(GoldenSemantics, TraceStatisticsAreConsistent) {
+  Rng rng(10);
+  QuantizedLayerSpec l;
+  l.type = LayerSpec::Type::kConv;
+  l.name = "stats";
+  l.in_ch = 2;
+  l.in_w = 12;
+  l.in_h = 12;
+  l.out_ch = 3;
+  l.kernel = 3;
+  l.stride = 1;
+  l.pad = 1;
+  l.weights.resize(3 * 2 * 9);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-3, 7));
+  l.lif.v_th = 6;
+  const auto in = data::random_stream({2, 12, 12, 10}, 0.05, 5);
+  const auto trace = GoldenExecutor::run_layer(l, in);
+  EXPECT_EQ(trace.input_events, in.update_count());
+  EXPECT_DOUBLE_EQ(trace.input_activity, in.activity());
+  EXPECT_EQ(trace.output_events, trace.output.update_count());
+  // Each interior event updates at most out_ch * 3x3 neurons.
+  EXPECT_LE(trace.updates, trace.input_events * 3ull * 9ull);
+  EXPECT_GT(trace.updates, 0u);
+}
+
+TEST(GoldenSemantics, OutOfGeometryEventsAreFiltered) {
+  auto layer = identity_conv(4);
+  event::EventStream in(event::StreamGeometry{4, 16, 16, 2});
+  in.push_update(0, 3, 9, 9);  // outside the layer's 1x4x4 address space
+  const auto trace = GoldenExecutor::run_layer(layer, in);
+  EXPECT_EQ(trace.output_events, 0u);
+  EXPECT_EQ(trace.updates, 0u);
+}
+
+}  // namespace
+}  // namespace sne::ecnn

@@ -1,0 +1,116 @@
+// Hardware-simulation substrate tests: FIFOs, arbiter, memory timing.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hwsim/arbiter.h"
+#include "hwsim/counters.h"
+#include "hwsim/fifo.h"
+#include "hwsim/memory.h"
+
+namespace sne::hwsim {
+namespace {
+
+TEST(FifoTest, BasicOrderAndCapacity) {
+  Fifo<int> f(3);
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.try_push(1));
+  EXPECT_TRUE(f.try_push(2));
+  EXPECT_TRUE(f.try_push(3));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.try_push(4));  // backpressure, nothing dropped
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_TRUE(f.try_push(4));
+  EXPECT_EQ(f.pop(), 3);
+  EXPECT_EQ(f.pop(), 4);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FifoTest, PopOnEmptyViolatesContract) {
+  Fifo<int> f(2);
+  EXPECT_THROW(f.pop(), ContractViolation);
+}
+
+TEST(FifoTest, HighWaterAndCounts) {
+  Fifo<int> f(4);
+  f.try_push(1);
+  f.try_push(2);
+  f.try_push(3);
+  f.pop();
+  f.try_push(4);
+  EXPECT_EQ(f.high_water(), 3u);
+  EXPECT_EQ(f.total_pushes(), 4u);
+  EXPECT_EQ(f.total_pops(), 1u);
+}
+
+TEST(ArbiterTest, RoundRobinIsFair) {
+  RoundRobinArbiter arb(4);
+  std::vector<int> grants;
+  for (int i = 0; i < 8; ++i)
+    grants.push_back(arb.grant([](std::size_t) { return true; }));
+  EXPECT_EQ(grants, (std::vector<int>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(ArbiterTest, SkipsNonRequesting) {
+  RoundRobinArbiter arb(4);
+  const auto only = [](std::size_t want) {
+    return [want](std::size_t i) { return i == want; };
+  };
+  EXPECT_EQ(arb.grant(only(2)), 2);
+  EXPECT_EQ(arb.grant(only(1)), 1);
+  EXPECT_EQ(arb.grant([](std::size_t) { return false; }), -1);
+}
+
+TEST(ArbiterTest, NoStarvationUnderLoad) {
+  RoundRobinArbiter arb(3);
+  std::vector<int> count(3, 0);
+  for (int i = 0; i < 300; ++i) {
+    const int g = arb.grant([](std::size_t) { return true; });
+    ASSERT_GE(g, 0);
+    count[static_cast<std::size_t>(g)]++;
+  }
+  for (int c : count) EXPECT_EQ(c, 100);
+}
+
+TEST(MemoryTest, ReadWriteAndBulk) {
+  MemoryModel mem(1024);
+  mem.write_word(10, 0xABCD);
+  EXPECT_EQ(mem.read_word(10), 0xABCDu);
+  mem.load(100, {1, 2, 3});
+  EXPECT_EQ(mem.dump(100, 3), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_THROW(mem.read_word(2000), ContractViolation);
+}
+
+TEST(MemoryTest, BurstTiming) {
+  MemoryTiming t;
+  t.latency_cycles = 6;
+  MemoryModel mem(64, t);
+  EXPECT_EQ(mem.next_word_delay(true), 6u);   // first word pays latency
+  EXPECT_EQ(mem.next_word_delay(false), 1u);  // streaming afterwards
+}
+
+TEST(MemoryTest, ContentionStallsAreSeededDeterministic) {
+  MemoryTiming t;
+  t.latency_cycles = 2;
+  t.stall_probability = 0.5;
+  t.stall_cycles = 8;
+  MemoryModel a(64, t, /*seed=*/42), b(64, t, /*seed=*/42);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.next_word_delay(false), b.next_word_delay(false));
+}
+
+TEST(CountersTest, Accumulate) {
+  ActivityCounters a, b;
+  a.cycles = 10;
+  a.neuron_updates = 5;
+  b.cycles = 3;
+  b.neuron_updates = 7;
+  b.xbar_beats = 2;
+  a += b;
+  EXPECT_EQ(a.cycles, 13u);
+  EXPECT_EQ(a.neuron_updates, 12u);
+  EXPECT_EQ(a.xbar_beats, 2u);
+}
+
+}  // namespace
+}  // namespace sne::hwsim

@@ -1,0 +1,28 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "event/event.h"
+#include "event/event_stream.h"
+
+namespace sne::testutil {
+
+/// Spikes (UPDATE events) of a stream in canonical (t, ch, y, x) order —
+/// hardware and golden executors emit in different orders, but the spike
+/// *sets* must be identical.
+inline std::vector<event::Event> canonical_spikes(const event::EventStream& s) {
+  std::vector<event::Event> out;
+  for (const event::Event& e : s.events())
+    if (e.op == event::Op::kUpdate) out.push_back(e);
+  std::sort(out.begin(), out.end(), [](const event::Event& a, const event::Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.ch != b.ch) return a.ch < b.ch;
+    if (a.y != b.y) return a.y < b.y;
+    return a.x < b.x;
+  });
+  return out;
+}
+
+}  // namespace sne::testutil
