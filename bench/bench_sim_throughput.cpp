@@ -6,6 +6,7 @@
 
 #include "core/engine.h"
 #include "data/synthetic.h"
+#include "ecnn/batch_runner.h"
 #include "ecnn/golden.h"
 #include "ecnn/runner.h"
 #include "event/event.h"
@@ -65,17 +66,25 @@ void BM_GoldenLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_GoldenLayer)->Arg(10)->Arg(30)->Arg(50);
 
+// Arg 0: number of slices; arg 1: SneConfig::fast_forward (1 = default
+// fast-forwarding engine, 0 = per-cycle reference path). The two must report
+// identical sim_cycles_per_s denominators (cycle counts are bit-identical;
+// test_fastforward proves it) — only wall-clock differs.
 void BM_CycleAccurateLayer(benchmark::State& state) {
   const auto layer = bench_layer();
   const auto in = data::random_stream({2, 32, 32, 20}, 0.03, 99);
   core::SneConfig hw = core::SneConfig::paper_design_point(
       static_cast<std::uint32_t>(state.range(0)));
+  hw.fast_forward = state.range(1) != 0;
+  // Engine construction (16 MB memory-model clear) is hoisted out of the
+  // timed loop: every run reprograms the slices and starts with an RST
+  // event, so reuse is state-equivalent and the loop measures simulation.
+  core::SneEngine engine(hw);
+  ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  ecnn::QuantizedNetwork net;
+  net.layers.push_back(layer);
   std::uint64_t cycles = 0;
   for (auto _ : state) {
-    core::SneEngine engine(hw);
-    ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
-    ecnn::QuantizedNetwork net;
-    net.layers.push_back(layer);
     const auto stats = runner.run(net, in);
     cycles += stats.cycles;
     benchmark::DoNotOptimize(stats.cycles);
@@ -83,7 +92,40 @@ void BM_CycleAccurateLayer(benchmark::State& state) {
   state.counters["sim_cycles_per_s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_CycleAccurateLayer)->Arg(1)->Arg(4)->Arg(8)
+BENCHMARK(BM_CycleAccurateLayer)
+    ->Args({1, 1})->Args({4, 1})->Args({8, 1})
+    ->Args({1, 0})->Args({4, 0})->Args({8, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// Dataset-level batch simulation: N independent samples simulated across a
+// worker pool (arg = worker count; results are bitwise identical for every
+// value, see test_fastforward). On a multi-core host throughput scales
+// near-linearly until the core count is reached.
+void BM_BatchedDataset(benchmark::State& state) {
+  const auto layer = bench_layer();
+  ecnn::QuantizedNetwork net;
+  net.layers.push_back(layer);
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 16; ++s)
+    inputs.push_back(data::random_stream({2, 32, 32, 10}, 0.03, 300 + s));
+
+  ecnn::BatchOptions opts;
+  opts.workers = static_cast<unsigned>(state.range(0));
+  opts.memory_words = 1u << 20;
+  ecnn::BatchRunner runner(core::SneConfig::paper_design_point(4), net, opts);
+
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto results = runner.run(inputs);
+    for (const auto& r : results) cycles += r.cycles;
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(inputs.size()));
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchedDataset)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GestureGeneration(benchmark::State& state) {

@@ -1,48 +1,54 @@
-// Tiny fork-join helper for the software training substrate.
+// Fork-join helpers for the software substrate (trainer tensor loops,
+// dataset-level batch simulation).
 //
-// The cycle-accurate simulator is single-threaded and deterministic by
-// design; only the trainer's dense tensor loops use this. Work is split into
-// contiguous index ranges, one per worker, so results are independent of the
-// thread count as long as the body only writes to its own indices.
+// parallel_for splits [begin, end) into contiguous chunks executed on the
+// persistent ThreadPool (plus the calling thread). The body is a template
+// parameter, so the inner loop calls it directly — no std::function, no
+// per-call thread spawn, no allocation on the task path. Chunking is a pure
+// function of the range and the worker count, so results are independent of
+// scheduling as long as the body only writes to its own indices.
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace sne {
 
-/// Number of workers used by parallel_for (hardware concurrency, >= 1).
-inline unsigned parallel_workers() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1u : hw;
-}
+/// Number of execution lanes parallel_for uses (pool workers + the caller).
+inline unsigned parallel_workers() { return ThreadPool::global().size() + 1; }
 
-/// Invokes body(i) for every i in [begin, end), splitting the range over the
-/// available hardware threads. Falls back to serial execution for small
-/// ranges where thread spawn cost dominates.
-inline void parallel_for(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t)>& body) {
+/// Invokes body(i) for every i in [begin, end), splitting the range into
+/// contiguous chunks over the thread pool. Falls back to serial execution
+/// for small ranges where scheduling cost dominates.
+template <typename Body>
+inline void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
   const std::size_t n = end > begin ? end - begin : 0;
-  const unsigned workers = parallel_workers();
   if (n == 0) return;
-  if (n < 64 || workers == 1) {
+  ThreadPool& pool = ThreadPool::global();
+  const unsigned lanes = pool.size() + 1;
+  if (n < 64 || lanes == 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + w * chunk;
-    if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk);
-    threads.emplace_back([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    });
-  }
-  for (auto& t : threads) t.join();
+  struct Ctx {
+    Body* body;
+    std::size_t begin;
+    std::size_t end;
+    std::size_t chunk;
+  };
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  Ctx ctx{&body, begin, end, chunk};
+  const std::size_t tasks = (n + chunk - 1) / chunk;
+  pool.run(
+      [](void* p, std::size_t k) {
+        Ctx& c = *static_cast<Ctx*>(p);
+        const std::size_t lo = c.begin + k * c.chunk;
+        const std::size_t hi = lo + c.chunk < c.end ? lo + c.chunk : c.end;
+        for (std::size_t i = lo; i < hi; ++i) (*c.body)(i);
+      },
+      &ctx, tasks);
 }
 
 }  // namespace sne

@@ -9,10 +9,18 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "common/contracts.h"
 
 namespace sne::core {
+
+/// "This component will not act again on its own" — a component whose next
+/// observable action is gated on another component's progress reports this
+/// from its next_activity_delta(); the engine's fast-forward jump is bounded
+/// by the minimum over all *self-timed* deltas.
+inline constexpr std::uint64_t kNeverActive =
+    std::numeric_limits<std::uint64_t>::max();
 
 struct SneConfig {
   // --- structural parameters ------------------------------------------------
@@ -46,6 +54,13 @@ struct SneConfig {
   bool clock_gating = true;        ///< gate clusters outside the event's filter
   bool double_buffered_state = true;  ///< 1 update/cycle; false: 2 cycles/update
   bool adaptive_sequencer = false; ///< sweep only needed rows (< 48 cycles)
+
+  // --- host-simulation switches ----------------------------------------------
+  // Fast-forwarding host simulation: stall-free TDM sweeps execute in one
+  // host call and the engine jumps over provably-inactive cycle spans.
+  // Cycle counts, activity counters, and output streams are bit-identical to
+  // the per-cycle reference path (false); only wall-clock time changes.
+  bool fast_forward = true;
 
   // --- derived --------------------------------------------------------------
   std::uint32_t neurons_per_slice() const {

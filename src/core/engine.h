@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/contracts.h"
@@ -61,11 +60,11 @@ class SneEngine {
 
   Slice& slice(std::uint32_t i) {
     SNE_EXPECTS(i < slices_.size());
-    return *slices_[i];
+    return slices_[i];
   }
   const Slice& slice(std::uint32_t i) const {
     SNE_EXPECTS(i < slices_.size());
-    return *slices_[i];
+    return slices_[i];
   }
 
   /// Programs slice `i` for a layer pass.
@@ -93,15 +92,35 @@ class SneEngine {
   const hwsim::ActivityCounters& total_counters() const { return total_; }
 
  private:
+  /// One pass over the machine state; replaces the former triple walk
+  /// (quiescent's two slice scans + the all_idle loop) with a single scan
+  /// per simulated cycle.
+  struct ScanState {
+    bool any_slice_busy = false;   ///< some slice is executing or holds input
+    bool any_slice_out = false;    ///< some slice output FIFO is nonempty
+    bool out_dma_pending = false;  ///< some output DMA FIFO is nonempty
+    bool in_drained = false;       ///< input DMA done and its FIFO empty
+    bool quiescent() const {
+      return in_drained && !any_slice_busy && !any_slice_out &&
+             !out_dma_pending;
+    }
+  };
+  ScanState scan_state() const;
+
+  /// Lower bound on cycles until any component can act (fast-forward jump
+  /// width). Exact for self-timed components (slice sweeps, DMA latency);
+  /// components blocked on FIFO conditions report kNeverActive because their
+  /// unblocking is another component's activity.
+  std::uint64_t next_activity_delta() const;
+
   void tick(hwsim::ActivityCounters& c);
-  bool quiescent() const;
   void xbar_input_move(hwsim::ActivityCounters& c);
   void xbar_slice_moves(hwsim::ActivityCounters& c);
   void collector_tick(hwsim::ActivityCounters& c);
 
   SneConfig cfg_;
   hwsim::MemoryModel mem_;
-  std::vector<std::unique_ptr<Slice>> slices_;
+  std::vector<Slice> slices_;  ///< by value: hot loops stay cache-local
   InputStreamer in_dma_;
   std::vector<OutputStreamer> out_dmas_;
   hwsim::RoundRobinArbiter collector_arb_;

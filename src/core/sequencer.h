@@ -18,6 +18,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -59,22 +60,23 @@ class Sequencer {
  public:
   explicit Sequencer(const SneConfig& hw) : hw_(&hw) {}
 
-  /// TDM addresses for an UPDATE event at input position (ex, ey).
-  /// The returned schedule has exactly `update_sweep_cycles` entries in
-  /// fixed mode (idle slots appended/used as padding) and only the needed
+  /// TDM addresses for an UPDATE event at input position (ex, ey), written
+  /// into the caller-owned `slots` buffer (cleared first; the slice reuses
+  /// one buffer across events so the per-event hot path never allocates
+  /// after warm-up). The schedule has exactly `update_sweep_cycles` entries
+  /// in fixed mode (idle slots appended/used as padding) and only the needed
   /// entries in adaptive mode. FC events sweep all TDM slots.
-  std::vector<std::uint16_t> update_schedule(const SliceConfig& cfg,
-                                             [[maybe_unused]] int ex,
-                                             int ey) const {
+  void update_schedule_into(const SliceConfig& cfg, [[maybe_unused]] int ex,
+                            int ey, std::vector<std::uint16_t>& slots) const {
     const std::uint32_t tile_w = hw_->cluster_tile_width;
     const std::uint32_t tile_h = hw_->cluster_tile_height();
-    std::vector<std::uint16_t> slots;
+    slots.clear();
 
     if (cfg.kind == LayerKind::kFc) {
       slots.reserve(hw_->neurons_per_cluster);
       for (std::uint32_t a = 0; a < hw_->neurons_per_cluster; ++a)
         slots.push_back(static_cast<std::uint16_t>(a));
-      return slots;
+      return;
     }
 
     const Interval oy = receptive_interval(ey, cfg.kernel_h, cfg.stride,
@@ -84,22 +86,14 @@ class Sequencer {
       // (the decoder cannot know early), adaptive mode ends immediately.
       if (!hw_->adaptive_sequencer)
         slots.assign(hw_->update_sweep_cycles, kIdleSlot);
-      return slots;
+      return;
     }
 
-    // Union over clusters of local rows touched by [oy.lo, oy.hi].
-    std::vector<bool> row_used(tile_h, false);
-    for (const ClusterMapping& m : cfg.clusters) {
-      if (!m.enabled) continue;
-      const int band_lo = m.y_base;
-      const int band_hi = m.y_base + static_cast<int>(tile_h) - 1;
-      const int lo = std::max(oy.lo, band_lo);
-      const int hi = std::min(oy.hi, band_hi);
-      for (int gy = lo; gy <= hi; ++gy) row_used[static_cast<std::size_t>(gy - band_lo)] = true;
-    }
+    std::uint64_t row_used[4];
+    row_mask(cfg, oy, tile_h, row_used);
 
     for (std::uint32_t r = 0; r < tile_h; ++r) {
-      if (!row_used[r]) continue;
+      if (!(row_used[r >> 6] & (1ull << (r & 63)))) continue;
       for (std::uint32_t c = 0; c < tile_w; ++c)
         slots.push_back(static_cast<std::uint16_t>(r * tile_w + c));
     }
@@ -110,19 +104,74 @@ class Sequencer {
       // wins and the sweep grows; the energy model sees it via the counters.
       while (slots.size() < hw_->update_sweep_cycles) slots.push_back(kIdleSlot);
     }
-    return slots;
   }
 
-  /// FIRE/RST scans visit every TDM slot once.
-  std::vector<std::uint16_t> full_schedule() const {
-    std::vector<std::uint16_t> slots;
+  /// Length of the schedule update_schedule_into would produce, without
+  /// materializing it. The fast-forward conv path consumes only the sweep
+  /// length (its integrations are enumerated from the receptive rectangle),
+  /// so the per-event slot buffer fill is skipped entirely.
+  std::size_t update_schedule_length(const SliceConfig& cfg,
+                                     [[maybe_unused]] int ex, int ey) const {
+    if (cfg.kind == LayerKind::kFc) return hw_->neurons_per_cluster;
+    const Interval oy = receptive_interval(ey, cfg.kernel_h, cfg.stride,
+                                           cfg.pad, cfg.out_height);
+    if (oy.empty())
+      return hw_->adaptive_sequencer ? 0 : hw_->update_sweep_cycles;
+    const std::uint32_t tile_h = hw_->cluster_tile_height();
+    std::uint64_t row_used[4];
+    row_mask(cfg, oy, tile_h, row_used);
+    std::size_t rows = 0;
+    for (std::uint64_t word : row_used)
+      rows += static_cast<std::size_t>(std::popcount(word));
+    std::size_t len = rows * hw_->cluster_tile_width;
+    if (!hw_->adaptive_sequencer)
+      len = std::max<std::size_t>(len, hw_->update_sweep_cycles);
+    return len;
+  }
+
+  /// FIRE/RST scans visit every TDM slot once; same caller-owned-buffer
+  /// contract as update_schedule_into.
+  void full_schedule_into(std::vector<std::uint16_t>& slots) const {
+    slots.clear();
     slots.reserve(hw_->neurons_per_cluster);
     for (std::uint32_t a = 0; a < hw_->neurons_per_cluster; ++a)
       slots.push_back(static_cast<std::uint16_t>(a));
+  }
+
+  /// Convenience value-returning wrappers (tests and exploratory code; the
+  /// simulator hot path uses the *_into variants).
+  std::vector<std::uint16_t> update_schedule(const SliceConfig& cfg, int ex,
+                                             int ey) const {
+    std::vector<std::uint16_t> slots;
+    update_schedule_into(cfg, ex, ey, slots);
+    return slots;
+  }
+  std::vector<std::uint16_t> full_schedule() const {
+    std::vector<std::uint16_t> slots;
+    full_schedule_into(slots);
     return slots;
   }
 
  private:
+  /// Union over clusters of local rows touched by [oy.lo, oy.hi], as a
+  /// fixed-width bitmask (tile_h <= neurons_per_cluster <= 256 rows in any
+  /// valid config) so the hot path stays allocation-free.
+  static void row_mask(const SliceConfig& cfg, const Interval& oy,
+                       std::uint32_t tile_h, std::uint64_t out[4]) {
+    out[0] = out[1] = out[2] = out[3] = 0;
+    for (const ClusterMapping& m : cfg.clusters) {
+      if (!m.enabled) continue;
+      const int band_lo = m.y_base;
+      const int band_hi = m.y_base + static_cast<int>(tile_h) - 1;
+      const int lo = std::max(oy.lo, band_lo);
+      const int hi = std::min(oy.hi, band_hi);
+      for (int gy = lo; gy <= hi; ++gy) {
+        const unsigned r = static_cast<unsigned>(gy - band_lo);
+        out[r >> 6] |= 1ull << (r & 63);
+      }
+    }
+  }
+
   const SneConfig* hw_;
 };
 

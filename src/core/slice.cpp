@@ -1,6 +1,7 @@
 #include "core/slice.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace sne::core {
 
@@ -31,11 +32,62 @@ void Slice::configure(const SliceConfig& cfg) {
     weights_ = WeightMemory(cfg.fc_pass_positions, cfg.fc_total_outputs());
   else
     weights_ = WeightMemory(hw_->weight_sets, hw_->weights_per_set);
+  // Streamed-FC DMA beats per event: a pass constant, hoisted out of the
+  // per-event decode path.
+  fc_streamed_beats_ = 0;
+  if (cfg.kind == LayerKind::kFc && cfg.fc_weights_streamed) {
+    std::uint64_t outputs = 0;
+    for (std::uint32_t i = 0; i < clusters_.size(); ++i) {
+      const ClusterMapping& m = cfg.clusters[i];
+      if (!m.enabled) continue;
+      const std::uint32_t first = m.out_channel;
+      if (first < cfg.fc_total_outputs())
+        outputs += std::min<std::uint32_t>(hw_->neurons_per_cluster,
+                                           cfg.fc_total_outputs() - first);
+    }
+    fc_streamed_beats_ = (outputs * 4 + 31) / 32;
+  }
+  // Per-input-row UPDATE sweep lengths (conv): the sequencer's row-union
+  // computation depends only on ey for a fixed pass, so the fast-forward
+  // decode path reads one LUT entry instead of recomputing the mask.
+  update_len_lut_.clear();
+  if (cfg.kind == LayerKind::kConv && hw_->fast_forward) {
+    update_len_lut_.resize(cfg.in_height);
+    for (std::uint32_t ey = 0; ey < cfg.in_height; ++ey)
+      update_len_lut_[ey] = static_cast<std::uint32_t>(
+          sequencer_.update_schedule_length(cfg, 0, static_cast<int>(ey)));
+  }
+  // Per-slot mapped-cluster masks (pass constant; drives the FIRE paths),
+  // plus the per-cluster transpose for the armed-slot iteration.
+  mapped_mask_.assign(hw_->neurons_per_cluster, 0);
+  cluster_mapped_.assign(clusters_.size(), {});
+  for (std::uint32_t slot = 0; slot < hw_->neurons_per_cluster; ++slot)
+    for (std::size_t i = 0; i < clusters_.size(); ++i)
+      if (clusters_[i].map.enabled &&
+          slot_mapped(clusters_[i], static_cast<std::uint16_t>(slot))) {
+        mapped_mask_[slot] |= 1ull << i;
+        cluster_mapped_[i][slot >> 6] |= 1ull << (slot & 63);
+      }
+  fire_mask_.clear();
+  fire_leaked_.clear();
+  mapped_total_ = 0;
+  for (std::uint64_t m : mapped_mask_)
+    mapped_total_ += static_cast<std::uint64_t>(std::popcount(m));
+  // Membranes survive reconfiguration, so every neuron is a firing
+  // candidate until the first RST wipes the state.
+  for (auto& cl : clusters_) cl.armed = {~0ull, ~0ull, ~0ull, ~0ull};
+  enabled_clusters_ = 0;
+  for (const auto& m : cfg.clusters)
+    if (m.enabled) ++enabled_clusters_;
   configured_ = true;
   state_ = State::kIdle;
   sweep_pos_ = 0;
   write_phase_ = false;
   wload_remaining_ = 0;
+  countdown_ = 0;
+  post_state_ = State::kIdle;
+  sweep_slots_ = 0;
+  cluster_pending_ = 0;
   for (auto& cl : clusters_) cl.out_fifo.clear();
   in_fifo_.clear();
   out_fifo_.clear();
@@ -52,7 +104,15 @@ void Slice::tick(hwsim::ActivityCounters& c) {
   tick_collector(c);
 
   const bool was_busy = state_ != State::kIdle;
-  if (was_busy) {
+  if (countdown_ > 0) {
+    // Residual occupancy of a batch-executed sweep: busy cycles and datapath
+    // counters were charged arithmetically at decode, so the countdown only
+    // reproduces the sweep's external timing. The state transition lands in
+    // the same cycle the reference path's last sweep slot would execute.
+    if (--countdown_ > 0) return;
+    state_ = post_state_;
+    if (state_ != State::kIdle) return;  // kDrain starts next cycle, as ref
+  } else if (was_busy) {
     c.slice_busy_cycles++;
     switch (state_) {
       case State::kUpdate:
@@ -85,6 +145,7 @@ void Slice::tick(hwsim::ActivityCounters& c) {
     const event::Beat beat = in_fifo_.pop();
     c.fifo_pops++;
     decode(event::unpack(beat), c);
+    if (hw_->fast_forward && state_ != State::kIdle) batch_execute(c);
   }
 }
 
@@ -94,30 +155,29 @@ void Slice::decode(const event::Event& e, hwsim::ActivityCounters& c) {
   write_phase_ = false;
   switch (e.op) {
     case event::Op::kUpdate: {
-      bool any = false;
-      for (auto& cl : clusters_) {
-        cl.enabled_for_event = cl.map.enabled && filter_accepts(cl, e);
-        any = any || cl.enabled_for_event;
-      }
-      if (!any) return;  // address filter drops the event at the decoder
-      schedule_ = sequencer_.update_schedule(cfg_, e.x, e.y);
-      if (schedule_.empty()) return;
-      if (cfg_.kind == LayerKind::kFc && cfg_.fc_weights_streamed) {
-        // Streamed FC: the event's weight column (4 bits per mapped output)
-        // rides the second DMA at one 32-bit beat per cycle. The event
-        // occupies the slice for max(TDM sweep, streaming) cycles.
-        std::uint64_t outputs = 0;
-        for (const auto& cl : clusters_) {
-          if (!cl.map.enabled) continue;
-          const std::uint32_t first = cl.map.out_channel;
-          if (first < fc_total_outputs())
-            outputs += std::min<std::uint32_t>(hw_->neurons_per_cluster,
-                                               fc_total_outputs() - first);
+      if (!compute_event_filter(e))
+        return;  // address filter drops the event at the decoder
+      if (hw_->fast_forward && cfg_.kind != LayerKind::kFc) {
+        // Conv fast path: the batch executor enumerates integrations from
+        // the receptive rectangle and only needs the sweep's cycle length,
+        // so the slot buffer is never filled. (e.y bounds-checked by the
+        // filter above.)
+        sweep_slots_ = update_len_lut_[e.y];
+        if (sweep_slots_ == 0) return;
+      } else {
+        sequencer_.update_schedule_into(cfg_, e.x, e.y, schedule_);
+        if (schedule_.empty()) return;
+        if (cfg_.kind == LayerKind::kFc && cfg_.fc_weights_streamed) {
+          // Streamed FC: the event's weight column (4 bits per mapped
+          // output) rides the second DMA at one 32-bit beat per cycle. The
+          // event occupies the slice for max(TDM sweep, streaming) cycles.
+          // The beat count is a pass constant precomputed in configure().
+          c.weight_load_beats += fc_streamed_beats_;
+          c.dma_read_beats += fc_streamed_beats_;
+          while (schedule_.size() < fc_streamed_beats_)
+            schedule_.push_back(kIdleSlot);
         }
-        const std::uint64_t beats = (outputs * 4 + 31) / 32;
-        c.weight_load_beats += beats;
-        c.dma_read_beats += beats;
-        while (schedule_.size() < beats) schedule_.push_back(kIdleSlot);
+        sweep_slots_ = schedule_.size();
       }
       c.events_consumed++;
       state_ = State::kUpdate;
@@ -125,7 +185,8 @@ void Slice::decode(const event::Event& e, hwsim::ActivityCounters& c) {
     }
     case event::Op::kFire: {
       for (auto& cl : clusters_) cl.enabled_for_event = cl.map.enabled;
-      schedule_ = sequencer_.full_schedule();
+      sequencer_.full_schedule_into(schedule_);
+      sweep_slots_ = schedule_.size();
       fired_any_ = false;
       c.fire_scans++;
       state_ = State::kFire;
@@ -134,7 +195,8 @@ void Slice::decode(const event::Event& e, hwsim::ActivityCounters& c) {
     case event::Op::kReset: {
       // "In the case of a RST_OP, all the Clusters are activated" (III-D.4).
       for (auto& cl : clusters_) cl.enabled_for_event = true;
-      schedule_ = sequencer_.full_schedule();
+      sequencer_.full_schedule_into(schedule_);
+      sweep_slots_ = schedule_.size();
       state_ = State::kReset;
       break;
     }
@@ -195,6 +257,10 @@ void Slice::tick_update(hwsim::ActivityCounters& c) {
 
 void Slice::tick_fire(hwsim::ActivityCounters& c) {
   SNE_EXPECTS(sweep_pos_ < schedule_.size());
+  if (hw_->fast_forward) {
+    tick_fire_cached(c);
+    return;
+  }
   const std::uint16_t slot = schedule_[sweep_pos_];
 
   // Two-phase commit: all clusters evaluate the firing condition; if any
@@ -204,13 +270,8 @@ void Slice::tick_fire(hwsim::ActivityCounters& c) {
   bool stalled = false;
   for (auto& cl : clusters_) {
     if (!cl.map.enabled) continue;
-    if (!output_event(cl, slot, current_.t).has_value()) continue;
-    const auto& n = cl.neurons[slot];
-    const std::int32_t v = neuron::leaked(
-        n.membrane(), cfg_.lif.leak,
-        current_.t >= n.last_update() ? current_.t - n.last_update() : 0,
-        cfg_.lif.leak_mode);
-    if (v > cfg_.lif.v_th && cl.out_fifo.full()) {
+    if (!slot_mapped(cl, slot)) continue;
+    if (would_fire(cl, slot) && cl.out_fifo.full()) {
       stalled = true;
       break;
     }
@@ -222,15 +283,15 @@ void Slice::tick_fire(hwsim::ActivityCounters& c) {
 
   for (auto& cl : clusters_) {
     if (!cl.map.enabled) continue;
-    const auto out = output_event(cl, slot, current_.t);
-    if (!out.has_value()) continue;  // slot not mapped to a real neuron
+    if (!slot_mapped(cl, slot)) continue;  // slot not mapped to a real neuron
     c.fire_checks++;
     c.state_reads++;
     c.state_writes++;
     c.active_cluster_cycles++;
     if (cl.neurons[slot].fire(current_.t, cfg_.lif)) {
-      const bool ok = cl.out_fifo.try_push(*out);
+      const bool ok = cl.out_fifo.try_push(*output_event(cl, slot, current_.t));
       SNE_ASSERT(ok);  // guaranteed by the stall check above
+      ++cluster_pending_;
       c.fifo_pushes++;
       c.output_events++;
       fired_any_ = true;
@@ -238,6 +299,78 @@ void Slice::tick_fire(hwsim::ActivityCounters& c) {
   }
 
   if (++sweep_pos_ >= schedule_.size()) state_ = State::kDrain;
+}
+
+void Slice::tick_fire_cached(hwsim::ActivityCounters& c) {
+  // Fast-forward FIRE step driven by the scan cache batch_fire filled at
+  // decode: the stall check probes only the clusters that will spike, the
+  // commit reuses the cached caught-up membranes, and runs of spike-free
+  // slots ahead of the cursor are pre-executed under a countdown (they
+  // cannot stall and touch no FIFO). State transitions, counter totals, and
+  // the spike push order are identical to the reference handler's.
+  const std::size_t npc = hw_->neurons_per_cluster;
+  const std::uint16_t slot = schedule_[sweep_pos_];
+  std::uint64_t fm = fire_mask_[slot];
+  while (fm) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(fm));
+    fm &= fm - 1;
+    if (clusters_[i].out_fifo.full()) {
+      c.fifo_stall_cycles++;
+      return;  // retry the same TDM address next cycle
+    }
+  }
+
+  // Commit the spiking neurons; non-firing neurons' leak catch-up is lazy
+  // (see batch_fire) and their datapath activity is charged arithmetically.
+  std::uint64_t fm2 = fire_mask_[slot];
+  std::uint64_t checks =
+      static_cast<std::uint64_t>(std::popcount(mapped_mask_[slot]));
+  while (fm2) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(fm2));
+    fm2 &= fm2 - 1;
+    Cluster& cl = clusters_[i];
+    const bool fired = cl.neurons[slot].commit_fire(
+        fire_leaked_[i * npc + slot], current_.t, cfg_.lif);
+    SNE_ASSERT(fired);  // fire_mask_ is exact
+    const bool ok = cl.out_fifo.try_push(*output_event(cl, slot, current_.t));
+    SNE_ASSERT(ok);  // guaranteed by the stall check above
+    ++cluster_pending_;
+    c.fifo_pushes++;
+    c.output_events++;
+    fired_any_ = true;
+  }
+
+  // Pre-execute the run of spike-free slots ahead of the cursor: pure
+  // counter arithmetic under the lazy-leak rule.
+  std::uint64_t extra = 0;
+  ++sweep_pos_;
+  while (sweep_pos_ < schedule_.size() &&
+         fire_mask_[schedule_[sweep_pos_]] == 0) {
+    checks += static_cast<std::uint64_t>(
+        std::popcount(mapped_mask_[schedule_[sweep_pos_]]));
+    ++sweep_pos_;
+    ++extra;
+  }
+
+  c.fire_checks += checks;
+  c.state_reads += checks;
+  c.state_writes += checks;
+  c.active_cluster_cycles += checks;
+  if (sweep_pos_ >= schedule_.size()) {
+    if (extra == 0) {
+      state_ = State::kDrain;  // this tick executed the final slot
+    } else {
+      c.slice_busy_cycles += extra;
+      countdown_ = extra;
+      post_state_ = State::kDrain;
+    }
+    return;
+  }
+  if (extra > 0) {
+    c.slice_busy_cycles += extra;
+    countdown_ = extra;
+    post_state_ = State::kFire;
+  }
 }
 
 void Slice::tick_reset(hwsim::ActivityCounters& c) {
@@ -270,8 +403,7 @@ void Slice::tick_drain(hwsim::ActivityCounters& c) {
   // Wait until every spike of the completed scan has been collected, then
   // emit the time-synchronization marker (FIRE with the scan's timestep, or
   // RST) so downstream consumers observe a time-ordered stream.
-  for (const auto& cl : clusters_)
-    if (!cl.out_fifo.empty()) return;
+  if (cluster_pending_ != 0) return;
   if (current_.op == event::Op::kFire && !fired_any_) {
     // No spikes at this timestep: downstream layers cannot fire either
     // (non-negative thresholds), so the marker is elided — the stream-level
@@ -288,37 +420,246 @@ void Slice::tick_drain(hwsim::ActivityCounters& c) {
 }
 
 void Slice::tick_collector(hwsim::ActivityCounters& c) {
+  if (cluster_pending_ == 0) return;  // nothing to arbitrate
   if (out_fifo_.full()) return;
   const int granted = collector_arb_.grant([this](std::size_t i) {
     return !clusters_[i].out_fifo.empty();
   });
   if (granted < 0) return;
   const event::Event e = clusters_[static_cast<std::size_t>(granted)].out_fifo.pop();
+  --cluster_pending_;
   c.fifo_pops++;
   const bool ok = out_fifo_.try_push(e);
   SNE_ASSERT(ok);
   c.fifo_pushes++;
 }
 
-bool Slice::filter_accepts(const Cluster& cl, const event::Event& e) const {
-  if (e.ch >= cfg_.in_channels || e.x >= cfg_.in_width || e.y >= cfg_.in_height)
+bool Slice::compute_event_filter(const event::Event& e) {
+  // Event-wide work is done once; the per-cluster loop only performs the
+  // tile-intersection test against the precomputed receptive intervals.
+  ev_accepted_ = 0;
+  if (e.ch >= cfg_.in_channels || e.x >= cfg_.in_width ||
+      e.y >= cfg_.in_height) {
+    for (auto& cl : clusters_) cl.enabled_for_event = false;
     return false;
+  }
   if (cfg_.kind == LayerKind::kFc) {
     const std::uint32_t flat = cfg_.fc_flat_index(e.ch, e.x, e.y);
-    return flat >= cfg_.fc_pass_base &&
-           flat < cfg_.fc_pass_base + cfg_.fc_pass_positions;
+    const bool in_pass = flat >= cfg_.fc_pass_base &&
+                         flat < cfg_.fc_pass_base + cfg_.fc_pass_positions;
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      Cluster& cl = clusters_[i];
+      cl.enabled_for_event = cl.map.enabled && in_pass;
+      if (cl.enabled_for_event)
+        ev_accepted_idx_[ev_accepted_++] = static_cast<std::uint8_t>(i);
+    }
+    return ev_accepted_ > 0;
   }
-  if (cfg_.depthwise && cl.map.out_channel != e.ch) return false;
   const Interval ox = receptive_interval(e.x, cfg_.kernel_w, cfg_.stride,
                                          cfg_.pad, cfg_.out_width);
   const Interval oy = receptive_interval(e.y, cfg_.kernel_h, cfg_.stride,
                                          cfg_.pad, cfg_.out_height);
-  if (ox.empty() || oy.empty()) return false;
+  ev_ox_ = ox;
+  ev_oy_ = oy;
+  if (ox.empty() || oy.empty()) {
+    for (auto& cl : clusters_) cl.enabled_for_event = false;
+    return false;
+  }
   const int tile_w = static_cast<int>(hw_->cluster_tile_width);
   const int tile_h = static_cast<int>(hw_->cluster_tile_height());
-  const bool x_hit = ox.hi >= cl.map.x_base && ox.lo < cl.map.x_base + tile_w;
-  const bool y_hit = oy.hi >= cl.map.y_base && oy.lo < cl.map.y_base + tile_h;
-  return x_hit && y_hit;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    Cluster& cl = clusters_[i];
+    const bool accepted =
+        cl.map.enabled && (!cfg_.depthwise || cl.map.out_channel == e.ch) &&
+        ox.hi >= cl.map.x_base && ox.lo < cl.map.x_base + tile_w &&
+        oy.hi >= cl.map.y_base && oy.lo < cl.map.y_base + tile_h;
+    cl.enabled_for_event = accepted;
+    if (accepted) ev_accepted_idx_[ev_accepted_++] = static_cast<std::uint8_t>(i);
+  }
+  return ev_accepted_ > 0;
+}
+
+void Slice::batch_execute(hwsim::ActivityCounters& c) {
+  switch (state_) {
+    case State::kUpdate:
+      batch_update(c);
+      break;
+    case State::kReset:
+      batch_reset(c);
+      break;
+    case State::kFire:
+      batch_fire(c);  // declines (stays per-cycle) when spikes would flow
+      break;
+    default:
+      break;  // WLOAD consumes FIFO beats and must stay per-cycle
+  }
+}
+
+void Slice::batch_update(hwsim::ActivityCounters& c) {
+  // An UPDATE sweep touches no FIFO, so compressing it into one host call is
+  // unconditionally cycle-equivalent: the per-cycle handler's charges are
+  // reproduced arithmetically and the slice stays externally busy for the
+  // same number of cycles via countdown_.
+  const std::uint64_t slots = sweep_slots_;
+  const std::uint64_t per_slot = hw_->double_buffered_state ? 1 : 2;
+  const std::uint64_t cycles = slots * per_slot;
+
+  const std::uint64_t enabled = ev_accepted_;
+  const std::uint64_t filtered = enabled_clusters_ - ev_accepted_;
+  c.active_cluster_cycles += enabled * cycles;
+  if (hw_->clock_gating)
+    c.gated_cluster_cycles += filtered * cycles;
+  else
+    c.active_cluster_cycles += filtered * cycles;
+
+  // Integrations. The per-cycle handler visits (slot, cluster) pairs in
+  // schedule order and integrates exactly the pairs whose neuron lies in the
+  // event's receptive field; each neuron is touched at most once and neurons
+  // share no state, so visiting the same set in cluster-major order is
+  // state- and counter-identical. For conv, that set is the intersection of
+  // the cluster tile with the precomputed receptive rectangle — enumerate it
+  // directly instead of scanning the padded sweep.
+  std::uint64_t updates = 0;
+  if (cfg_.kind == LayerKind::kFc) {
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      const std::uint16_t slot = schedule_[i];
+      if (slot == kIdleSlot) continue;
+      for (auto& cl : clusters_) {
+        if (!cl.enabled_for_event) continue;  // implies map.enabled
+        const auto w = weight_for(cl, slot);
+        if (!w.has_value()) continue;
+        cl.neurons[slot].integrate(current_.t, *w, cfg_.lif);
+        if (cl.neurons[slot].membrane() > cfg_.lif.v_th)
+          cl.armed[slot >> 6] |= 1ull << (slot & 63);
+        ++updates;
+      }
+    }
+  } else {
+    const int tile_w = static_cast<int>(hw_->cluster_tile_width);
+    const int tile_h = static_cast<int>(hw_->cluster_tile_height());
+    for (std::uint32_t k = 0; k < ev_accepted_; ++k) {
+      Cluster& cl = clusters_[ev_accepted_idx_[k]];
+      const int x_lo = std::max(ev_ox_.lo, static_cast<int>(cl.map.x_base));
+      const int x_hi =
+          std::min(ev_ox_.hi, static_cast<int>(cl.map.x_base) + tile_w - 1);
+      const int y_lo = std::max(ev_oy_.lo, static_cast<int>(cl.map.y_base));
+      const int y_hi =
+          std::min(ev_oy_.hi, static_cast<int>(cl.map.y_base) + tile_h - 1);
+      // Direct weight addressing (same formulas as weight_for, which is
+      // always engaged on rectangle cells): kernel taps are in range by the
+      // receptive-interval construction, and the weight set is a
+      // per-cluster constant for the event.
+      const std::uint32_t set =
+          cfg_.depthwise
+              ? 0u
+              : static_cast<std::uint32_t>(current_.ch) * cfg_.oc_per_slice +
+                    cl.map.oc_slot;
+      for (int oy = y_lo; oy <= y_hi; ++oy) {
+        const int ky = current_.y + cfg_.pad - oy * cfg_.stride;
+        const int row = (oy - cl.map.y_base) * tile_w - cl.map.x_base;
+        for (int ox = x_lo; ox <= x_hi; ++ox) {
+          const int kx = current_.x + cfg_.pad - ox * cfg_.stride;
+          const std::uint16_t slot = static_cast<std::uint16_t>(row + ox);
+          const std::int32_t w = weights_.read(
+              set, static_cast<std::uint32_t>(ky * cfg_.kernel_w + kx));
+          cl.neurons[slot].integrate(current_.t, w, cfg_.lif);
+          if (cl.neurons[slot].membrane() > cfg_.lif.v_th)
+            cl.armed[slot >> 6] |= 1ull << (slot & 63);
+          ++updates;
+        }
+      }
+    }
+  }
+  c.neuron_updates += updates;
+  c.state_reads += updates;
+  c.state_writes += updates;
+
+  c.slice_busy_cycles += cycles;
+  countdown_ = cycles;
+  post_state_ = State::kIdle;
+}
+
+void Slice::batch_reset(hwsim::ActivityCounters& c) {
+  // RST sweeps touch no FIFO either; every cluster participates. All
+  // membranes drop to zero, so (for v_th >= 0) nothing remains armed; with
+  // v_th < 0 the armed masks are unused entirely.
+  const std::uint64_t slots = sweep_slots_;
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    const std::uint16_t slot = schedule_[i];
+    for (auto& cl : clusters_) {
+      cl.neurons[slot].reset();
+      c.neuron_resets++;
+      c.state_writes++;
+      c.active_cluster_cycles++;
+    }
+  }
+  for (auto& cl : clusters_) cl.armed = {};
+  fired_any_ = true;  // RST markers always propagate downstream
+  c.slice_busy_cycles += slots;
+  countdown_ = slots;
+  post_state_ = State::kDrain;
+}
+
+bool Slice::batch_fire(hwsim::ActivityCounters& c) {
+  // Fill the scan-wide FIRE cache: every neuron's caught-up membrane plus
+  // the per-slot spike masks. The precomputation is exact for the entire
+  // scan because each neuron is visited exactly once (its slot) and only
+  // mutated by its own commit — earlier slots cannot change later slots'
+  // firing decisions, and stalls never mutate state.
+  //
+  // A scan with no spike at all touches no FIFO and can never stall, so it
+  // commits here in one call; otherwise the per-cycle handler takes over,
+  // consuming the same cache (spike drainage interleaves with the collector
+  // and the C-XBAR cycle by cycle and must not be compressed).
+  const std::size_t npc = hw_->neurons_per_cluster;
+  fire_leaked_.resize(clusters_.size() * npc);
+  fire_mask_.assign(npc, 0);
+  // Candidate slots per cluster: the armed superset (exact fallback to all
+  // mapped slots for negative thresholds, where leak can cross upward).
+  const bool use_armed = cfg_.lif.v_th >= 0;
+  bool any_spike = false;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    Cluster& cl = clusters_[i];
+    if (!cl.map.enabled) continue;
+    for (std::size_t w = 0; w < 4; ++w) {
+      std::uint64_t cand = cluster_mapped_[i][w];
+      if (use_armed) cand &= cl.armed[w];
+      while (cand) {
+        const std::size_t slot =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(cand));
+        cand &= cand - 1;
+        const auto& n = cl.neurons[slot];
+        const std::int32_t v = neuron::leaked(
+            n.membrane(), cfg_.lif.leak,
+            current_.t >= n.last_update() ? current_.t - n.last_update() : 0,
+            cfg_.lif.leak_mode);
+        if (v > cfg_.lif.v_th) {
+          fire_mask_[slot] |= 1ull << i;
+          fire_leaked_[i * npc + slot] = v;
+          any_spike = true;
+        } else if (use_armed) {
+          // Disproven candidate: it cannot fire again until an integrate
+          // re-arms it (leak only decays when v_th >= 0).
+          cl.armed[w] &= ~(1ull << (slot & 63));
+        }
+      }
+    }
+  }
+  if (any_spike) return false;  // per-cycle path resumes, reusing the cache
+
+  // No spike: nothing touches a FIFO and no neuron changes observably —
+  // the leak catch-up every mapped neuron would receive is applied lazily
+  // at its next touch (one-shot == iterative for the linear leak, see
+  // neuron::leaked), so the whole scan reduces to counter arithmetic.
+  c.fire_checks += mapped_total_;
+  c.state_reads += mapped_total_;
+  c.state_writes += mapped_total_;
+  c.active_cluster_cycles += mapped_total_;
+  const std::uint64_t slots = sweep_slots_;
+  c.slice_busy_cycles += slots;
+  countdown_ = slots;
+  post_state_ = State::kDrain;
+  return true;
 }
 
 std::optional<std::int32_t> Slice::weight_for(const Cluster& cl,

@@ -22,6 +22,7 @@
 // they cost.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -48,6 +49,14 @@ struct Cluster {
   hwsim::Fifo<event::Event> out_fifo;
   ClusterMapping map;
   bool enabled_for_event = false;  ///< address-filter result for current event
+  /// Fast-forward FIRE acceleration: slots whose neuron *may* be above
+  /// threshold (a conservative superset). With v_th >= 0 leak only decays
+  /// membranes, so a neuron can only cross the threshold at an integrate —
+  /// which sets its bit. configure() arms everything (membranes are
+  /// unknown), RST disarms (all membranes zero). Unused when v_th < 0
+  /// (toward-zero leak could raise a negative membrane past a negative
+  /// threshold) and on the per-cycle reference path.
+  std::array<std::uint64_t, 4> armed{};  ///< 4x64 bits covers npc <= 256
 };
 
 class Slice {
@@ -82,7 +91,37 @@ class Slice {
   /// Advances one clock cycle.
   void tick(hwsim::ActivityCounters& c);
 
-  /// Direct membrane inspection (verification only).
+  /// Cycles until this slice's next self-timed observable action: the
+  /// remaining occupancy of a pre-executed sweep, 1 while anything is in
+  /// flight, kNeverActive when idle with empty FIFOs (it only wakes when the
+  /// C-XBAR pushes an event, which is the xbar's activity, not ours).
+  std::uint64_t next_activity_delta() const {
+    if (!configured_) return kNeverActive;
+    // Spikes queued in cluster FIFOs keep the collector active every cycle
+    // — even under a sweep countdown (a FIRE scan's pre-executed spike-free
+    // run overlaps the drain of its earlier slots).
+    if (cluster_pending_ > 0) return 1;
+    if (countdown_ > 0) return countdown_;
+    if (state_ != State::kIdle || !in_fifo_.empty()) return 1;
+    return kNeverActive;
+  }
+
+  /// Fast-forward support: burns `cycles` ticks of a pre-executed sweep's
+  /// occupancy countdown in bulk. Callers guarantee
+  /// cycles < next_activity_delta(); counters were already charged when the
+  /// sweep was batch-executed, so this is pure bookkeeping.
+  void skip_cycles(std::uint64_t cycles) {
+    if (countdown_ == 0) return;
+    SNE_ASSERT(cycles < countdown_);
+    countdown_ -= cycles;
+  }
+
+  /// Direct membrane inspection (verification only). Note: with
+  /// fast_forward, non-spiking FIRE scans apply their leak catch-up lazily
+  /// (the paper's TLU optimisation; functionally identical because the
+  /// linear leak composes one-shot — see neuron::leaked), so the raw stored
+  /// value can lag the reference path's by pending leak. All engine-visible
+  /// behaviour — outputs, counters, future spikes — is bit-identical.
   std::int32_t membrane(std::uint32_t cluster, std::uint32_t slot) const {
     SNE_EXPECTS(cluster < clusters_.size());
     SNE_EXPECTS(slot < clusters_[cluster].neurons.size());
@@ -104,14 +143,51 @@ class Slice {
   void decode(const event::Event& e, hwsim::ActivityCounters& c);
   void tick_update(hwsim::ActivityCounters& c);
   void tick_fire(hwsim::ActivityCounters& c);
+  void tick_fire_cached(hwsim::ActivityCounters& c);
   void tick_reset(hwsim::ActivityCounters& c);
   void tick_wload(hwsim::ActivityCounters& c);
   void tick_drain(hwsim::ActivityCounters& c);
   void tick_collector(hwsim::ActivityCounters& c);
 
-  /// Address filter: does `e`'s receptive footprint intersect the cluster's
-  /// tile? (Conv mode; FC mode filters on the pass's position chunk.)
-  bool filter_accepts(const Cluster& cl, const event::Event& e) const;
+  // Fast-forward sweep execution: runs an entire stall-free TDM sweep in one
+  // host call, charging per-cycle counters arithmetically, and leaves
+  // countdown_ cycles of residual occupancy. Bit-identical to ticking the
+  // per-cycle handlers for the same number of cycles.
+  void batch_execute(hwsim::ActivityCounters& c);
+  void batch_update(hwsim::ActivityCounters& c);
+  void batch_reset(hwsim::ActivityCounters& c);
+  /// Returns false (leaving the per-cycle path in charge) when any neuron
+  /// would spike during the scan — spike drainage interleaves with the
+  /// collector and the C-XBAR cycle by cycle and must not be compressed.
+  bool batch_fire(hwsim::ActivityCounters& c);
+
+  /// Address filter for all clusters at decode time: sets
+  /// Cluster::enabled_for_event and returns whether any cluster accepted.
+  /// The event-wide work (bounds check, receptive intervals / FC flat index)
+  /// is hoisted out of the per-cluster loop.
+  bool compute_event_filter(const event::Event& e);
+
+  /// Does TDM `slot` address a real neuron of `cl` (i.e. would output_event
+  /// be engaged)? Bounds-only fast form of output_event for the scan paths.
+  bool slot_mapped(const Cluster& cl, std::uint16_t slot) const {
+    if (cfg_.kind == LayerKind::kFc)
+      return cl.map.out_channel + slot < fc_total_outputs();
+    const std::uint32_t tile_w = hw_->cluster_tile_width;
+    const std::uint32_t ox = cl.map.x_base + slot % tile_w;
+    const std::uint32_t oy = cl.map.y_base + slot / tile_w;
+    return ox < cfg_.out_width && oy < cfg_.out_height;
+  }
+
+  /// Read-only replica of LifNeuron::fire's threshold decision for the
+  /// current event's timestep (also exactly the stall check's comparison).
+  bool would_fire(const Cluster& cl, std::uint16_t slot) const {
+    const auto& n = cl.neurons[slot];
+    const std::int32_t v = neuron::leaked(
+        n.membrane(), cfg_.lif.leak,
+        current_.t >= n.last_update() ? current_.t - n.last_update() : 0,
+        cfg_.lif.leak_mode);
+    return v > cfg_.lif.v_th;
+  }
 
   /// Weight for cluster `cl`, TDM slot `slot`, given current UPDATE event.
   /// Returns nullopt when the slot's neuron is not in the receptive field.
@@ -139,13 +215,53 @@ class Slice {
 
   State state_ = State::kIdle;
   event::Event current_{};                 ///< event being executed
-  std::vector<std::uint16_t> schedule_;    ///< TDM sweep for current op
+  std::vector<std::uint16_t> schedule_;    ///< TDM sweep for current op (reused)
+  /// Cycle length of the current sweep. Equals schedule_.size() whenever the
+  /// schedule is materialized; the fast-forward conv-UPDATE path computes
+  /// only the length (the slot list is never consumed there).
+  std::size_t sweep_slots_ = 0;
+  /// Events currently queued across all cluster output FIFOs; lets the
+  /// per-cycle collector and the activity scan skip 16 FIFO probes when the
+  /// slice has nothing to collect (the common case outside FIRE drains).
+  std::uint32_t cluster_pending_ = 0;
   std::size_t sweep_pos_ = 0;
   bool write_phase_ = false;   ///< single-buffered state: 2-cycle updates
   std::uint32_t wload_remaining_ = 0;
   std::uint32_t wload_set_ = 0;
   std::uint32_t wload_group_ = 0;
+  std::uint64_t fc_streamed_beats_ = 0;  ///< per-event DMA beats (streamed FC)
+  /// Conv UPDATE sweep length per input row (pass constant per ey), built at
+  /// configure time so the fast-forward decode is O(1) per event.
+  std::vector<std::uint32_t> update_len_lut_;
+  /// Per-TDM-slot bitmask of clusters whose slot addresses a real neuron
+  /// (bit i = cluster i); a pass constant built at configure time.
+  std::vector<std::uint64_t> mapped_mask_;
+  /// Transpose of mapped_mask_: per cluster, the slots addressing a real
+  /// neuron (same layout as Cluster::armed).
+  std::vector<std::array<std::uint64_t, 4>> cluster_mapped_;
+  std::uint64_t mapped_total_ = 0;  ///< total mapped (cluster, slot) pairs
+  /// FIRE-scan cache, filled once per scan at decode (fast-forward): every
+  /// neuron's caught-up membrane and, per slot, the clusters that will
+  /// spike. Exact for the whole scan because each neuron is visited exactly
+  /// once and only by its own commit.
+  std::vector<std::int32_t> fire_leaked_;   ///< [cluster * npc + slot]
+  std::vector<std::uint64_t> fire_mask_;    ///< per slot: clusters that spike
   bool fired_any_ = false;     ///< spikes emitted during current FIRE scan
+
+  // Fast-forward: residual occupancy of a batch-executed sweep. While
+  // countdown_ > 0 the externally visible state (busy(), FIFO behaviour) is
+  // exactly that of the per-cycle sweep; when it reaches zero the slice
+  // transitions to post_state_ in the same cycle the reference path would.
+  std::uint64_t countdown_ = 0;
+  State post_state_ = State::kIdle;
+  // Receptive intervals of the current UPDATE event (conv mode), computed
+  // once at decode; batch_update enumerates each cluster's RF rectangle
+  // from these instead of scanning the padded TDM schedule.
+  Interval ev_ox_{};
+  Interval ev_oy_{};
+  std::uint32_t ev_accepted_ = 0;     ///< clusters passing the event filter
+  std::uint32_t enabled_clusters_ = 0;  ///< clusters with map.enabled (pass)
+  std::array<std::uint8_t, 64> ev_accepted_idx_{};  ///< their indices
 };
 
 }  // namespace sne::core

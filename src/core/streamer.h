@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "common/contracts.h"
+#include "core/config.h"
 #include "event/event.h"
 #include "hwsim/counters.h"
 #include "hwsim/fifo.h"
@@ -54,6 +55,26 @@ class InputStreamer {
     ++cursor_;
     --remaining_;
     wait_ = remaining_ > 0 ? mem_->next_word_delay(/*first_of_burst=*/false) : 0;
+  }
+
+  /// Cycles until this streamer's next self-timed observable action (a word
+  /// entering the FIFO): the remaining latency countdown, or kNeverActive
+  /// when the transfer is done / blocked on FIFO backpressure (the unblocking
+  /// pop is another component's activity and bounds the jump instead).
+  std::uint64_t next_activity_delta() const {
+    if (remaining_ == 0) return kNeverActive;
+    if (wait_ > 1) return wait_;
+    return fifo_.full() ? kNeverActive : 1;
+  }
+
+  /// Fast-forward support: burns `cycles` latency-countdown ticks in bulk.
+  /// Callers guarantee cycles < next_activity_delta(), so no transfer is
+  /// skipped over; a blocked or drained streamer is unaffected (its tick is
+  /// a no-op in those states).
+  void skip_cycles(std::uint64_t cycles) {
+    if (remaining_ == 0 || wait_ <= 1) return;
+    SNE_ASSERT(cycles <= wait_ - 1);
+    wait_ -= static_cast<std::uint32_t>(cycles);
   }
 
  private:

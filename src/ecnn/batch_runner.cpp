@@ -1,0 +1,40 @@
+#include "ecnn/batch_runner.h"
+
+#include "common/thread_pool.h"
+#include "core/engine.h"
+
+namespace sne::ecnn {
+
+BatchRunner::BatchRunner(core::SneConfig hw, QuantizedNetwork net,
+                         BatchOptions opts)
+    : hw_(hw), net_(std::move(net)), opts_(opts) {
+  hw_.validate();
+  SNE_EXPECTS(!net_.layers.empty());
+  if (opts_.workers > 0) pool_ = std::make_unique<ThreadPool>(opts_.workers);
+}
+
+NetworkRunStats BatchRunner::run_one(const event::EventStream& input) const {
+  core::SneEngine engine(hw_, opts_.memory_words, opts_.mem_timing);
+  NetworkRunner runner(engine, opts_.use_wload_stream);
+  return runner.run(net_, input, opts_.policy);
+}
+
+std::vector<NetworkRunStats> BatchRunner::run(
+    const std::vector<event::EventStream>& inputs) {
+  std::vector<NetworkRunStats> results(inputs.size());
+  struct Ctx {
+    const BatchRunner* self;
+    const std::vector<event::EventStream>* inputs;
+    std::vector<NetworkRunStats>* results;
+  };
+  Ctx ctx{this, &inputs, &results};
+  const ThreadPool::TaskFn task = [](void* p, std::size_t k) {
+    Ctx& c = *static_cast<Ctx*>(p);
+    (*c.results)[k] = c.self->run_one((*c.inputs)[k]);
+  };
+  ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+  pool.run(task, &ctx, inputs.size());
+  return results;
+}
+
+}  // namespace sne::ecnn

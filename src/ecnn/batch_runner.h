@@ -1,0 +1,63 @@
+// BatchRunner: dataset-level parallel simulation.
+//
+// The cycle-accurate engine is single-threaded by design; dataset benches
+// (Table-1 accuracy, energy proportionality) run hundreds of independent
+// samples, which is embarrassingly parallel at the sample level. BatchRunner
+// simulates one QuantizedNetwork over N input streams across the persistent
+// thread pool, one full SneEngine per sample.
+//
+// Determinism: every sample is simulated on a freshly constructed engine
+// (the engine and its memory model carry no state between samples, including
+// the contention-stall RNG), so results are bitwise independent of the
+// worker count and of how samples are scheduled onto threads — the
+// regression suite asserts this.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "ecnn/quantized.h"
+#include "ecnn/runner.h"
+#include "event/event_stream.h"
+#include "hwsim/memory.h"
+
+namespace sne::ecnn {
+
+struct BatchOptions {
+  /// Extra dedicated workers for this runner; 0 = share the global pool
+  /// (pool workers + the calling thread).
+  unsigned workers = 0;
+  bool use_wload_stream = false;           ///< see NetworkRunner
+  std::size_t memory_words = (1u << 22);   ///< per-engine external memory
+  hwsim::MemoryTiming mem_timing{};        ///< per-engine memory timing
+  event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly;
+};
+
+class BatchRunner {
+ public:
+  BatchRunner(core::SneConfig hw, QuantizedNetwork net, BatchOptions opts = {});
+
+  /// Simulates every input independently; results[i] corresponds to
+  /// inputs[i]. Bitwise deterministic regardless of worker count.
+  std::vector<NetworkRunStats> run(
+      const std::vector<event::EventStream>& inputs);
+
+  /// Simulates one input on a fresh engine (the per-task body of run()).
+  NetworkRunStats run_one(const event::EventStream& input) const;
+
+  const core::SneConfig& hw() const { return hw_; }
+  const QuantizedNetwork& network() const { return net_; }
+
+ private:
+  core::SneConfig hw_;
+  QuantizedNetwork net_;
+  BatchOptions opts_;
+  /// Dedicated pool when opts_.workers > 0 (spawned once, reused across
+  /// run() calls); otherwise run() uses ThreadPool::global().
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace sne::ecnn

@@ -92,7 +92,11 @@ class EventStream {
   /// Stable-sorts events into time-major normal form. Within a timestep the
   /// order RST < UPDATE < FIRE < WLOAD is enforced so that a reset always
   /// precedes integration and firing concludes the step (paper section III-C).
+  /// Streams that are already normalized (the common case: generators and
+  /// the engine emit time-ordered events) are detected in one linear pass,
+  /// skipping the sort and its temporary allocation.
   void normalize() {
+    if (is_normalized()) return;
     std::stable_sort(events_.begin(), events_.end(),
                      [](const Event& a, const Event& b) {
                        if (a.t != b.t) return a.t < b.t;

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "common/contracts.h"
 
@@ -23,7 +22,9 @@ class RoundRobinArbiter {
   /// Returns the first requesting port at or after the rotating priority
   /// pointer, advancing the pointer past the granted port; -1 if none
   /// request. `requesting(i)` must be a pure predicate for this cycle.
-  int grant(const std::function<bool(std::size_t)>& requesting) {
+  /// Templated so the per-cycle hot path pays no type-erasure cost.
+  template <typename Requesting>
+  int grant(Requesting&& requesting) {
     for (std::size_t k = 0; k < ports_; ++k) {
       const std::size_t i = (next_ + k) % ports_;
       if (requesting(i)) {

@@ -70,6 +70,10 @@ struct ActivityCounters {
     weight_load_beats += o.weight_load_beats;
     return *this;
   }
+
+  /// Field-wise equality (the fast-forward equivalence suite compares whole
+  /// counter sets between the reference and fast-forwarded simulations).
+  bool operator==(const ActivityCounters&) const = default;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const ActivityCounters& c) {

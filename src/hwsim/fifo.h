@@ -6,10 +6,15 @@
 // `ready`). The simulator ticks components in a fixed order, so a word
 // pushed in cycle N is visible to the consumer in cycle N+1 at the earliest,
 // matching registered-output FIFOs.
+//
+// Backed by a fixed ring buffer sized at construction: beat movement is the
+// simulator's innermost operation, so the hot path must never allocate (a
+// deque-backed queue churns block allocations at exactly this frequency).
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <vector>
 
 #include "common/contracts.h"
 
@@ -18,41 +23,49 @@ namespace sne::hwsim {
 template <typename T>
 class Fifo {
  public:
-  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+  explicit Fifo(std::size_t capacity) : capacity_(capacity), buf_(capacity) {
     SNE_EXPECTS(capacity > 0);
   }
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return q_.size(); }
-  bool empty() const { return q_.empty(); }
-  bool full() const { return q_.size() >= capacity_; }
-  std::size_t space() const { return capacity_ - q_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+  std::size_t space() const { return capacity_ - size_; }
 
   /// Attempts to push; returns false (and drops nothing) when full.
   bool try_push(const T& v) {
     if (full()) return false;
-    q_.push_back(v);
-    if (q_.size() > high_water_) high_water_ = q_.size();
+    std::size_t tail = head_ + size_;
+    if (tail >= capacity_) tail -= capacity_;
+    buf_[tail] = v;
+    ++size_;
+    if (size_ > high_water_) high_water_ = size_;
     ++pushes_;
     return true;
   }
 
   /// Front element; FIFO must not be empty.
   const T& front() const {
-    SNE_EXPECTS(!q_.empty());
-    return q_.front();
+    SNE_EXPECTS(size_ > 0);
+    return buf_[head_];
   }
 
   /// Pops the front element; FIFO must not be empty.
   T pop() {
-    SNE_EXPECTS(!q_.empty());
-    T v = q_.front();
-    q_.pop_front();
+    SNE_EXPECTS(size_ > 0);
+    T v = buf_[head_];
+    ++head_;
+    if (head_ >= capacity_) head_ = 0;
+    --size_;
     ++pops_;
     return v;
   }
 
-  void clear() { q_.clear(); }
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
   // Occupancy statistics (used by the energy model and FIFO-depth ablation).
   std::size_t high_water() const { return high_water_; }
@@ -61,7 +74,9 @@ class Fifo {
 
  private:
   std::size_t capacity_;
-  std::deque<T> q_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
   std::size_t high_water_ = 0;
   std::uint64_t pushes_ = 0;
   std::uint64_t pops_ = 0;

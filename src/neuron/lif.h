@@ -113,6 +113,21 @@ class LifNeuron {
     return true;
   }
 
+  /// fire() with the caught-up membrane `v` supplied by the caller (the
+  /// slice's FIRE scan evaluates leaked() once for the stall check and
+  /// reuses it here; `v` must equal leaked(membrane(), p.leak, t - tlu,
+  /// p.leak_mode)). State transition and result are identical to fire(t, p).
+  bool commit_fire(std::int32_t v, std::uint32_t t, const LifParams& p) {
+    SNE_EXPECTS(t >= tlu_);
+    tlu_ = t;
+    if (v <= p.v_th) {
+      v_ = v;
+      return false;
+    }
+    v_ = p.reset_mode == ResetMode::kToZero ? 0 : saturate(v - p.v_th, kStateRange);
+    return true;
+  }
+
   /// Eagerly advances the leak to timestep t without input (used by tests to
   /// prove lazy == eager; the hardware never calls this per-step).
   void catch_up(std::uint32_t t, const LifParams& p) {

@@ -1,0 +1,363 @@
+// Fast-forward equivalence regression suite.
+//
+// SneConfig::fast_forward compresses provably-inactive cycle spans and
+// stall-free TDM sweeps into bulk host operations. The contract is strict:
+// cycle counts, every ActivityCounters field, and the output event stream
+// (exact sequence, not just the spike set) must be bit-identical to the
+// per-cycle reference path across every scenario the engine models. This
+// suite runs each scenario twice — fast_forward on and off — and compares.
+//
+// Also covered: BatchRunner determinism (results independent of the worker
+// count and identical to serial simulation).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/batch_runner.h"
+#include "ecnn/runner.h"
+#include "test_util.h"
+
+namespace sne {
+namespace {
+
+using core::SneConfig;
+using core::SneEngine;
+using ecnn::NetworkRunner;
+using ecnn::NetworkRunStats;
+using ecnn::QuantizedLayerSpec;
+using ecnn::QuantizedNetwork;
+
+QuantizedLayerSpec conv_layer(std::uint16_t in_ch, std::uint16_t size,
+                              std::uint16_t out_ch, std::int32_t v_th,
+                              std::uint64_t seed) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kConv;
+  l.name = "conv";
+  l.in_ch = in_ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = out_ch;
+  l.kernel = 3;
+  l.stride = 1;
+  l.pad = 1;
+  l.weights.resize(static_cast<std::size_t>(out_ch) * in_ch * 9);
+  Rng rng(seed);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-4, 7));
+  l.lif.v_th = v_th;
+  l.lif.leak = 1;
+  return l;
+}
+
+QuantizedLayerSpec fc_layer(std::uint16_t in_ch, std::uint16_t size,
+                            std::uint16_t outputs, std::uint64_t seed) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kFc;
+  l.name = "fc";
+  l.in_ch = in_ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = outputs;
+  l.weights.resize(static_cast<std::size_t>(outputs) * l.in_flat());
+  Rng rng(seed);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-7, 7));
+  l.lif.v_th = 9;
+  l.lif.leak = 1;
+  return l;
+}
+
+/// Runs `net` on `input` through NetworkRunner with the given fast_forward
+/// setting, on a fresh engine.
+NetworkRunStats run_network(SneConfig hw, bool fast, const QuantizedNetwork& net,
+                            const event::EventStream& input) {
+  hw.fast_forward = fast;
+  SneEngine engine(hw, 1u << 20);
+  NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  return runner.run(net, input);
+}
+
+void expect_equivalent(const NetworkRunStats& ref, const NetworkRunStats& fast) {
+  EXPECT_EQ(ref.cycles, fast.cycles);
+  EXPECT_TRUE(ref.total == fast.total) << "counters diverge:\nref:  " << ref.total
+                                       << "\nfast: " << fast.total;
+  ASSERT_EQ(ref.layers.size(), fast.layers.size());
+  for (std::size_t i = 0; i < ref.layers.size(); ++i) {
+    EXPECT_EQ(ref.layers[i].cycles, fast.layers[i].cycles) << "layer " << i;
+    EXPECT_TRUE(ref.layers[i].counters == fast.layers[i].counters)
+        << "layer " << i;
+    // Exact event sequence, not just the canonical spike set.
+    EXPECT_TRUE(ref.layers[i].output == fast.layers[i].output) << "layer " << i;
+  }
+  EXPECT_TRUE(ref.final_output == fast.final_output);
+}
+
+TEST(FastForwardEquivalence, ConvLayerTimeMultiplexed) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(2, 32, 4, 6, 5));
+  const auto in = data::random_stream({2, 32, 32, 20}, 0.03, 99);
+  const SneConfig hw = SneConfig::paper_design_point(4);
+  const auto ref = run_network(hw, false, net, in);
+  const auto fast = run_network(hw, true, net, in);
+  ASSERT_GT(fast.total.output_events, 0u);  // scenario actually spikes
+  expect_equivalent(ref, fast);
+}
+
+TEST(FastForwardEquivalence, ConvSilentNetwork) {
+  // High threshold: FIRE scans are spike-free end to end, exercising the
+  // batched no-spike scan and the marker-elision drain path.
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(2, 32, 4, 120, 5));
+  const auto in = data::random_stream({2, 32, 32, 10}, 0.05, 7);
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  const auto ref = run_network(hw, false, net, in);
+  const auto fast = run_network(hw, true, net, in);
+  EXPECT_EQ(fast.total.output_events, 0u);
+  expect_equivalent(ref, fast);
+}
+
+TEST(FastForwardEquivalence, StreamedFcLayer) {
+  // An FC layer too large for the filter buffer streams its weights from
+  // the second DMA (fc_weights_streamed), stretching event occupancy.
+  QuantizedNetwork net;
+  net.layers.push_back(fc_layer(2, 16, 48, 11));
+  const auto in = data::random_stream({2, 16, 16, 12}, 0.06, 21);
+  const SneConfig hw = SneConfig::paper_design_point(4);
+  const auto ref = run_network(hw, false, net, in);
+  const auto fast = run_network(hw, true, net, in);
+  ASSERT_GT(ref.total.weight_load_beats, 0u);  // streaming path exercised
+  expect_equivalent(ref, fast);
+}
+
+TEST(FastForwardEquivalence, MultiSlicePipeline) {
+  // Pipeline operating mode: conv -> conv chained through the C-XBAR, all
+  // stages concurrently active (slice-to-slice hops + per-cycle FIRE).
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 4, 3));
+  auto l2 = conv_layer(2, 16, 2, 5, 4);
+  l2.name = "conv2";
+  net.layers.push_back(l2);
+  const auto in = data::random_stream({1, 16, 16, 12}, 0.08, 13);
+
+  event::EventStream outputs[2];
+  hwsim::ActivityCounters counters[2];
+  std::uint64_t cycles[2];
+  int k = 0;
+  for (bool fast : {false, true}) {
+    SneConfig hw = SneConfig::paper_design_point(2);
+    hw.fast_forward = fast;
+    SneEngine engine(hw, 1u << 20);
+    const auto geom = ecnn::build_pipeline(engine, net, in.geometry().timesteps);
+    core::RunOptions opts;
+    opts.out_geometry = geom;
+    const auto r = engine.run(in, opts);
+    outputs[k] = r.output;
+    counters[k] = r.counters;
+    cycles[k] = r.cycles;
+    ++k;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_TRUE(counters[0] == counters[1]);
+  EXPECT_TRUE(outputs[0] == outputs[1]);
+  EXPECT_GT(counters[0].output_events, 0u);
+}
+
+TEST(FastForwardEquivalence, FifoStallScenario) {
+  // Tiny FIFOs + near-zero threshold: FIRE sweeps stall on full cluster
+  // FIFOs, the hardest interleaving for the batched paths to respect.
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 0, 17));
+  const auto in = data::random_stream({1, 16, 16, 10}, 0.15, 41);
+  SneConfig hw = SneConfig::paper_design_point(1);
+  hw.cluster_fifo_depth = 1;
+  hw.slice_out_fifo_depth = 2;
+  hw.dma_fifo_depth = 2;
+  const auto ref = run_network(hw, false, net, in);
+  const auto fast = run_network(hw, true, net, in);
+  ASSERT_GT(ref.total.fifo_stall_cycles, 0u);  // stalls actually happen
+  expect_equivalent(ref, fast);
+}
+
+TEST(FastForwardEquivalence, SingleBufferedState) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(2, 16, 2, 6, 23));
+  const auto in = data::random_stream({2, 16, 16, 10}, 0.05, 3);
+  SneConfig hw = SneConfig::paper_design_point(2);
+  hw.double_buffered_state = false;  // 2-cycle updates
+  const auto ref = run_network(hw, false, net, in);
+  const auto fast = run_network(hw, true, net, in);
+  expect_equivalent(ref, fast);
+}
+
+TEST(FastForwardEquivalence, AdaptiveSequencer) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(2, 16, 2, 6, 29));
+  const auto in = data::random_stream({2, 16, 16, 10}, 0.05, 3);
+  SneConfig hw = SneConfig::paper_design_point(2);
+  hw.adaptive_sequencer = true;
+  const auto ref = run_network(hw, false, net, in);
+  const auto fast = run_network(hw, true, net, in);
+  expect_equivalent(ref, fast);
+}
+
+TEST(FastForwardEquivalence, ClockGatingOffAndNegativeThreshold) {
+  // Negative thresholds disable the armed-slot acceleration (toward-zero
+  // leak can cross a negative threshold upward); gating off flips the
+  // cluster-cycle accounting. Both must stay bit-identical.
+  QuantizedLayerSpec l = conv_layer(1, 16, 2, -3, 31);
+  l.lif.leak = 2;
+  QuantizedNetwork net;
+  net.layers.push_back(l);
+  const auto in = data::random_stream({1, 16, 16, 8}, 0.05, 19);
+  SneConfig hw = SneConfig::paper_design_point(1);
+  hw.clock_gating = false;
+  const auto ref = run_network(hw, false, net, in);
+  const auto fast = run_network(hw, true, net, in);
+  expect_equivalent(ref, fast);
+}
+
+TEST(FastForwardEquivalence, RandomMemoryStalls) {
+  // Randomized DMA contention stalls (seeded): the input streamer's latency
+  // countdown is skipped in bulk and must consume the RNG identically.
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(2, 16, 2, 6, 37));
+  const auto in = data::random_stream({2, 16, 16, 10}, 0.05, 11);
+  hwsim::MemoryTiming timing;
+  timing.latency_cycles = 6;
+  timing.stall_probability = 0.2;
+  timing.stall_cycles = 11;
+
+  NetworkRunStats stats[2];
+  int k = 0;
+  for (bool fast : {false, true}) {
+    SneConfig hw = SneConfig::paper_design_point(2);
+    hw.fast_forward = fast;
+    SneEngine engine(hw, 1u << 20, timing);
+    NetworkRunner runner(engine, /*use_wload_stream=*/false);
+    stats[k++] = runner.run(net, in);
+  }
+  expect_equivalent(stats[0], stats[1]);
+}
+
+TEST(FastForwardEquivalence, EngineReuseAcrossRuns) {
+  // A reused engine carries membrane state into the next run's configure;
+  // the armed-slot masks must stay conservative (configure arms everything).
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 2, 43));
+  const auto in_a = data::random_stream({1, 16, 16, 8}, 0.08, 51);
+  const auto in_b = data::random_stream({1, 16, 16, 8}, 0.08, 52);
+
+  NetworkRunStats a[2], b[2];
+  int k = 0;
+  for (bool fast : {false, true}) {
+    SneConfig hw = SneConfig::paper_design_point(1);
+    hw.fast_forward = fast;
+    SneEngine engine(hw, 1u << 20);
+    NetworkRunner runner(engine, /*use_wload_stream=*/false);
+    a[k] = runner.run(net, in_a);
+    b[k] = runner.run(net, in_b);  // same engine, second dataset
+    ++k;
+  }
+  expect_equivalent(a[0], a[1]);
+  expect_equivalent(b[0], b[1]);
+}
+
+TEST(FastForwardEquivalence, WloadStreamProgramming) {
+  // Weight programming through the C-XBAR WLOAD path (per-cycle payload
+  // consumption) interleaved with simulation.
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 6, 47));
+  const auto in = data::random_stream({1, 16, 16, 8}, 0.06, 61);
+
+  NetworkRunStats stats[2];
+  int k = 0;
+  for (bool fast : {false, true}) {
+    SneConfig hw = SneConfig::paper_design_point(1);
+    hw.fast_forward = fast;
+    SneEngine engine(hw, 1u << 20);
+    NetworkRunner runner(engine, /*use_wload_stream=*/true);
+    stats[k++] = runner.run(net, in);
+  }
+  ASSERT_GT(stats[0].total.weight_load_beats, 0u);
+  expect_equivalent(stats[0], stats[1]);
+}
+
+// --- BatchRunner ------------------------------------------------------------
+
+TEST(BatchRunnerTest, DeterministicAcrossWorkerCounts) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(2, 32, 4, 6, 5));
+
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 6; ++s)
+    inputs.push_back(data::random_stream({2, 32, 32, 8}, 0.04, 100 + s));
+
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  ecnn::BatchOptions base;
+  base.memory_words = 1u << 20;
+
+  std::vector<std::vector<NetworkRunStats>> all;
+  for (unsigned workers : {1u, 2u, 3u}) {
+    ecnn::BatchOptions o = base;
+    o.workers = workers;
+    ecnn::BatchRunner runner(hw, net, o);
+    all.push_back(runner.run(inputs));
+  }
+  for (std::size_t w = 1; w < all.size(); ++w) {
+    ASSERT_EQ(all[0].size(), all[w].size());
+    for (std::size_t i = 0; i < all[0].size(); ++i) {
+      EXPECT_EQ(all[0][i].cycles, all[w][i].cycles) << "sample " << i;
+      EXPECT_TRUE(all[0][i].total == all[w][i].total) << "sample " << i;
+      EXPECT_TRUE(all[0][i].final_output == all[w][i].final_output)
+          << "sample " << i;
+    }
+  }
+}
+
+TEST(BatchRunnerTest, MatchesSerialNetworkRunner) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 5, 71));
+
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 8}, 0.06, 200 + s));
+
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  ecnn::BatchOptions o;
+  o.memory_words = 1u << 20;
+  o.workers = 2;
+  ecnn::BatchRunner batch(hw, net, o);
+  const auto batched = batch.run(inputs);
+
+  // Serial reference: one engine reused across samples, as dataset loops
+  // have always done.
+  SneEngine engine(hw, 1u << 20);
+  NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  ASSERT_EQ(batched.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto serial = runner.run(net, inputs[i]);
+    EXPECT_EQ(serial.cycles, batched[i].cycles) << "sample " << i;
+    EXPECT_TRUE(serial.total == batched[i].total) << "sample " << i;
+    EXPECT_TRUE(serial.final_output == batched[i].final_output)
+        << "sample " << i;
+  }
+}
+
+TEST(BatchRunnerTest, PropagatesTaskExceptions) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 5, 73));
+  const SneConfig hw = SneConfig::paper_design_point(1);
+  ecnn::BatchOptions o;
+  o.memory_words = 1u << 20;
+  o.workers = 2;
+  ecnn::BatchRunner runner(hw, net, o);
+  // An output map wider than the event address space makes Slice::configure
+  // throw inside a worker; the exception must surface on the calling thread.
+  QuantizedNetwork bad;
+  bad.layers.push_back(conv_layer(1, 160, 1, 5, 73));
+  ecnn::BatchRunner bad_runner(hw, bad, o);
+  std::vector<event::EventStream> inputs;
+  inputs.push_back(data::random_stream({1, 160, 160, 2}, 0.02, 3));
+  EXPECT_ANY_THROW(bad_runner.run(inputs));
+}
+
+}  // namespace
+}  // namespace sne
