@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "data/synthetic.h"
+#include "ecnn/batch_runner.h"
 #include "ecnn/golden.h"
 #include "ecnn/quantized.h"
 #include "ecnn/runner.h"
@@ -101,9 +102,17 @@ int main() {
                     "Rate [inf/s]", "E = P*t [uJ/inf]", "E (activity model) [uJ]"});
   std::vector<double> acts = {0.012, 0.02, 0.03, 0.04, 0.049};
   std::vector<double> times_ms, events_n;
-  for (double act : acts) {
-    const auto in = data::random_stream({2, 32, 32, 50}, act, 20240);
-    const auto traces = ecnn::GoldenExecutor::run_network(net, in);
+  // The activity sweep is point-wise independent: batch the golden runs over
+  // the worker pool (BatchRunner::run_golden, bitwise identical to the
+  // former serial loop) and reduce in sweep order.
+  std::vector<event::EventStream> sweep_inputs;
+  for (double act : acts)
+    sweep_inputs.push_back(data::random_stream({2, 32, 32, 50}, act, 20240));
+  ecnn::BatchRunner batch(hw, net);
+  const auto sweep_traces = batch.run_golden(sweep_inputs);
+  for (std::size_t ai = 0; ai < acts.size(); ++ai) {
+    const double act = acts[ai];
+    const auto& traces = sweep_traces[ai];
     std::size_t total_events = 0;
     std::uint64_t total_updates = 0;
     for (const auto& tr : traces) {
@@ -177,14 +186,16 @@ int main() {
                  "not uniform)\n";
   }
 
-  // Cycle-accurate cross-check at the endpoints.
+  // Cycle-accurate cross-check at the endpoints, both endpoints simulated
+  // in parallel on the batch runner (one fresh engine per sample).
   std::cout << "\nCycle-accurate cross-check (time-multiplexed execution, "
                "8 slices):\n";
-  for (double act : {acts.front(), acts.back()}) {
-    const auto in = data::random_stream({2, 32, 32, 50}, act, 20240);
-    core::SneEngine engine(hw);
-    ecnn::NetworkRunner runner(engine, /*use_wload_stream=*/false);
-    const auto stats = runner.run(net, in);
+  const std::vector<event::EventStream> endpoints = {sweep_inputs.front(),
+                                                     sweep_inputs.back()};
+  const auto endpoint_stats = batch.run(endpoints);
+  for (std::size_t k = 0; k < endpoints.size(); ++k) {
+    const double act = k == 0 ? acts.front() : acts.back();
+    const auto& stats = endpoint_stats[k];
     const auto rep = model.evaluate(stats.total);
     std::cout << "  activity " << AsciiTable::num(act * 100.0, 1)
               << "%: " << stats.total_input_events() << " events, "

@@ -8,6 +8,7 @@
 #include "data/synthetic.h"
 #include "ecnn/batch_runner.h"
 #include "ecnn/golden.h"
+#include "ecnn/mapper.h"
 #include "ecnn/runner.h"
 #include "event/event.h"
 
@@ -95,6 +96,88 @@ void BM_CycleAccurateLayer(benchmark::State& state) {
 BENCHMARK(BM_CycleAccurateLayer)
     ->Args({1, 1})->Args({4, 1})->Args({8, 1})
     ->Args({1, 0})->Args({4, 0})->Args({8, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// Spike-dense workload measured on the engine core alone: a wide-output
+// conv layer (zero threshold, strictly positive weights) makes nearly every
+// mapped neuron fire at every scan from a sparse input, so simulated time is
+// dominated by the spike drain through the cluster-FIFO -> slice collector
+// -> engine collector -> output-DMA chain (one beat per hop per cycle).
+// Slices are programmed and the beat program is compiled once outside the
+// timed loop; each iteration is one engine.run() (engine reuse is
+// state-equivalent: the program starts with an RST wipe). Arg 0: number of
+// slices; arg 1: engine mode (0 = per-cycle reference, 1 = PR 1's
+// fast-forward only, 2 = fast-forward + batched drain engine). All modes
+// report identical sim_cycles_per_s denominators (bit-identical cycles, see
+// test_fastforward's DrainEquivalence suite); only wall-clock differs.
+void BM_DenseSpikingLayer(benchmark::State& state) {
+  const auto slices = static_cast<std::uint32_t>(state.range(0));
+  ecnn::QuantizedLayerSpec layer;
+  layer.type = ecnn::LayerSpec::Type::kConv;
+  layer.name = "dense_conv";
+  layer.in_ch = 1;
+  layer.in_w = 16;
+  layer.in_h = 16;
+  layer.out_ch = static_cast<std::uint16_t>(4 * slices);  // fills every slice
+  layer.kernel = 3;
+  layer.stride = 1;
+  layer.pad = 1;
+  layer.weights.resize(static_cast<std::size_t>(layer.out_ch) * 9);
+  Rng rng(5);
+  for (auto& w : layer.weights)
+    w = static_cast<std::int8_t>(rng.uniform_int(1, 7));
+  layer.lif.v_th = 0;
+  layer.lif.leak = 1;
+  const auto in = data::random_stream({1, 16, 16, 20}, 0.1, 177);
+
+  core::SneConfig hw = core::SneConfig::paper_design_point(slices);
+  hw.fast_forward = state.range(1) >= 1;
+  hw.drain_batching = state.range(1) >= 2;
+  core::SneEngine engine(hw);
+  ecnn::Mapper mapper(hw);
+  const ecnn::LayerPlan plan = mapper.plan(layer, in.geometry().timesteps);
+  if (plan.rounds.size() != 1) {
+    state.SkipWithError("layer does not fit a single round");
+    return;
+  }
+  std::vector<std::uint32_t> active;
+  for (const ecnn::SlicePass& pass : plan.rounds[0].passes) {
+    engine.configure_slice(pass.slice_id, pass.cfg);
+    auto& w = engine.slice(pass.slice_id).weights();
+    for (const auto& [set, codes] : pass.weight_image)
+      for (std::size_t i = 0; i < codes.size(); ++i)
+        w.write(set, static_cast<std::uint32_t>(i), codes[i]);
+    active.push_back(pass.slice_id);
+  }
+  core::XbarRoutes routes;
+  routes.input_dest = active;
+  routes.slice_dest.assign(hw.num_slices,
+                           core::SliceRoute{core::SliceRoute::kToMemory});
+  engine.set_routes(routes);
+  const std::vector<event::Beat> program =
+      in.with_control_events(event::FirePolicy::kActiveStepsOnly).to_beats();
+  core::RunOptions opts;
+  opts.out_geometry = plan.out_geometry;
+  // Counter-only measurement (same setting for every mode): the bench
+  // times the simulation, not the output-stream decode.
+  opts.materialize_output = false;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto r = engine.run(program, opts);
+    cycles += r.cycles;
+    events += r.counters.output_events;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["out_events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseSpikingLayer)
+    ->Args({8, 2})->Args({8, 1})->Args({8, 0})
+    ->Args({4, 2})->Args({4, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Dataset-level batch simulation: N independent samples simulated across a

@@ -23,6 +23,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "data/synthetic.h"
+#include "ecnn/batch_runner.h"
 #include "ecnn/golden.h"
 #include "ecnn/quantized.h"
 #include "energy/energy_model.h"
@@ -90,8 +91,18 @@ DatasetResult run_protocol(const sne::data::Dataset& full, double train_frac,
     core::SneConfig hw = core::SneConfig::paper_design_point(8);
     energy::EnergyModel model(hw);
     const double power_mw = model.dense_power_mw();
-    for (const data::Sample& s : split.test.samples) {
-      const auto traces = ecnn::GoldenExecutor::run_network(qnet, s.stream);
+    // Golden-model evaluation batched over the sample dimension
+    // (BatchRunner::run_golden): bitwise identical to the former serial
+    // loop — the reductions below still run in sample order.
+    std::vector<event::EventStream> test_streams;
+    test_streams.reserve(split.test.samples.size());
+    for (const data::Sample& s : split.test.samples)
+      test_streams.push_back(s.stream);
+    ecnn::BatchRunner batch(hw, qnet);
+    const auto all_traces = batch.run_golden(test_streams);
+    for (std::size_t si = 0; si < split.test.samples.size(); ++si) {
+      const data::Sample& s = split.test.samples[si];
+      const auto& traces = all_traces[si];
       const auto counts =
           ecnn::GoldenExecutor::class_spike_counts(traces.back().output, classes);
       std::size_t pred = 0;

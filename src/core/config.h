@@ -62,6 +62,15 @@ struct SneConfig {
   // the per-cycle reference path (false); only wall-clock time changes.
   bool fast_forward = true;
 
+  // Batched spike-drain engine: while the machine is in a drain-dominated
+  // configuration (spikes flowing cluster FIFO -> slice collector -> engine
+  // collector -> output DMA -> memory), the engine replays the deterministic
+  // round-robin interleaving through a specialized kernel and, for pure
+  // drain spans, a closed-form bulk model that emits events and charges
+  // counters arithmetically. Bit-identical to the per-cycle path; only
+  // effective when fast_forward is also set.
+  bool drain_batching = true;
+
   // --- derived --------------------------------------------------------------
   std::uint32_t neurons_per_slice() const {
     return clusters_per_slice * neurons_per_cluster;

@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <sstream>
 
 namespace sne::core {
@@ -22,6 +25,25 @@ SneEngine::SneEngine(SneConfig cfg, std::size_t memory_words,
   // linear output region per output DMA.
   out_region_base_ = memory_words / 2;
   out_region_words_ = (memory_words - out_region_base_) / cfg_.num_output_dmas;
+  rebuild_route_index();
+  drain_parts_.resize(cfg_.num_slices);
+  drain_dmas_.resize(cfg_.num_output_dmas);
+}
+
+void SneEngine::rebuild_route_index() {
+  mem_slices_.clear();
+  pipe_routes_.clear();
+  mem_slice_mask_ = 0;
+  for (std::size_t i = 0; i < routes_.slice_dest.size(); ++i) {
+    const int dest = routes_.slice_dest[i].dest;
+    if (dest == SliceRoute::kToMemory) {
+      mem_slices_.push_back(static_cast<std::uint32_t>(i));
+      mem_slice_mask_ |= 1ull << i;
+    } else {
+      pipe_routes_.emplace_back(static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(dest));
+    }
+  }
 }
 
 SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
@@ -40,6 +62,7 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
 
   hwsim::ActivityCounters c;
   const bool fast = cfg_.fast_forward;
+  const bool drain_fast = fast && cfg_.drain_batching;
   ScanState s = scan_state();
   while (!s.quiescent()) {
     if (c.cycles >= opts.max_cycles) {
@@ -47,6 +70,14 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
       os << "engine did not quiesce within " << opts.max_cycles
          << " cycles; counters: " << c;
       throw ContractViolation(os.str());
+    }
+    // Drain-dominated spans (spikes flowing through the collector/DMA
+    // chain) replay through the batched drain engine.
+    if (drain_fast && (s.out_dma_pending || s.any_slice_out || s.any_drain)) {
+      if (drain_burst(c, opts.max_cycles) > 0) {
+        s = scan_state();
+        continue;
+      }
     }
     // A pending output-DMA word means next_activity_delta() == 1 (its first
     // check); skip the scan entirely — drain phases tick every cycle.
@@ -75,14 +106,16 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
   r.counters = c;
   r.cycles = c.cycles;
   r.sim_time_us = static_cast<double>(c.cycles) * cfg_.cycle_ns() * 1e-3;
-  std::vector<event::Beat> beats;
-  for (std::uint32_t i = 0; i < out_dmas_.size(); ++i) {
-    const auto part = mem_.dump(out_region_base_ + i * out_region_words_,
-                                out_dmas_[i].written());
-    beats.insert(beats.end(), part.begin(), part.end());
+  if (opts.materialize_output) {
+    std::vector<event::Beat> beats;
+    for (std::uint32_t i = 0; i < out_dmas_.size(); ++i) {
+      const auto part = mem_.dump(out_region_base_ + i * out_region_words_,
+                                  out_dmas_[i].written());
+      beats.insert(beats.end(), part.begin(), part.end());
+    }
+    r.output = event::EventStream::from_beats(beats, opts.out_geometry);
+    r.output.normalize();
   }
-  r.output = event::EventStream::from_beats(beats, opts.out_geometry);
-  r.output.normalize();
   total_ += c;
   return r;
 }
@@ -123,6 +156,7 @@ SneEngine::ScanState SneEngine::scan_state() const {
   for (const auto& sl : slices_) {
     if (sl.busy()) s.any_slice_busy = true;
     if (!sl.out_fifo().empty()) s.any_slice_out = true;
+    if (sl.draining()) s.any_drain = true;
   }
   for (const auto& dma : out_dmas_)
     if (!dma.fifo().empty()) {
@@ -153,22 +187,17 @@ std::uint64_t SneEngine::next_activity_delta() const {
       break;
     }
   if (dma_space) {
-    for (std::size_t i = 0; i < routes_.slice_dest.size(); ++i) {
-      if (routes_.slice_dest[i].dest != SliceRoute::kToMemory) continue;
+    for (const auto i : mem_slices_)
       if (!slices_[i].out_fifo().empty()) return 1;
-    }
   }
 
   // Slice-to-slice crossbar hops (pipeline mode). A hop blocked on a full
   // destination unblocks only when that slice pops, which its own delta
   // (sweep countdown or 1) already bounds.
-  for (std::size_t i = 0; i < routes_.slice_dest.size(); ++i) {
-    const int dest = routes_.slice_dest[i].dest;
-    if (dest == SliceRoute::kToMemory) continue;
-    if (!slices_[i].out_fifo().empty() &&
-        !slices_[static_cast<std::size_t>(dest)].in_fifo().full())
+  for (const auto& [src, dest] : pipe_routes_)
+    if (!slices_[src].out_fifo().empty() &&
+        !slices_[dest].in_fifo().full())
       return 1;
-  }
 
   for (const auto& sl : slices_) {
     consider(sl.next_activity_delta());
@@ -209,12 +238,10 @@ void SneEngine::xbar_input_move(hwsim::ActivityCounters& c) {
 }
 
 void SneEngine::xbar_slice_moves(hwsim::ActivityCounters& c) {
-  for (std::size_t i = 0; i < routes_.slice_dest.size(); ++i) {
-    const int dest = routes_.slice_dest[i].dest;
-    if (dest == SliceRoute::kToMemory) continue;  // handled by the collector
-    auto& src = slice(static_cast<std::uint32_t>(i)).out_fifo();
+  for (const auto& [src_id, dest_id] : pipe_routes_) {
+    auto& src = slices_[src_id].out_fifo();
     if (src.empty()) continue;
-    auto& dst = slice(static_cast<std::uint32_t>(dest)).in_fifo();
+    auto& dst = slices_[dest_id].in_fifo();
     if (dst.full()) continue;
     const event::Event e = src.pop();
     c.fifo_pops++;
@@ -225,22 +252,434 @@ void SneEngine::xbar_slice_moves(hwsim::ActivityCounters& c) {
   }
 }
 
+std::uint64_t SneEngine::drain_burst(hwsim::ActivityCounters& c,
+                                     std::uint64_t max_cycles) {
+  std::uint64_t done = 0;
+  for (;;) {
+    if (c.cycles >= max_cycles) return done;  // caller's livelock guard throws
+    // Cycle prechecks: every slice must be in a state whose full cycle the
+    // kernel can replay (no event decode, no countdown retirement, no
+    // reference-path sweep handlers). Slice-to-slice hops land before the
+    // slices tick, so a movable hop makes its destination decode-capable.
+    std::uint64_t incoming = 0;
+    for (const auto& [src, dest] : pipe_routes_)
+      if (!slices_[src].out_fifo().empty() &&
+          !slices_[dest].in_fifo().full())
+        incoming |= 1ull << dest;
+    bool ok = true;
+    bool any_work = false;
+    for (std::size_t i = 0; i < slices_.size(); ++i) {
+      const Slice& sl = slices_[i];
+      if (!sl.drain_cycle_ok(incoming >> i & 1)) {
+        ok = false;
+        break;
+      }
+      if (sl.draining() || !sl.out_fifo().empty()) any_work = true;
+    }
+    if (!ok) return done;
+    if (!any_work) {
+      bool dma_pending = false;
+      for (const auto& dma : out_dmas_)
+        if (!dma.fifo().empty()) {
+          dma_pending = true;
+          break;
+        }
+      if (!dma_pending) return done;  // dead span: the generic loop jumps it
+    }
+
+    // Pure-drain spans compress to the closed-form bulk model.
+    const std::uint64_t bulk = drain_bulk_span(c, max_cycles);
+    if (bulk > 0) {
+      done += bulk;
+      continue;
+    }
+
+    // One kernel cycle: the exact component order of tick(), with the
+    // specialized slice drain step instead of the full tick dispatch.
+    for (auto& dma : out_dmas_) dma.tick(c);
+    collector_tick(c);
+    xbar_slice_moves(c);
+    for (auto& sl : slices_) sl.drain_tick(c);
+    xbar_input_move(c);
+    in_dma_.tick(c);
+    c.cycles++;
+    ++done;
+    bool any_busy = false;
+    for (const auto& sl : slices_)
+      if (sl.busy()) {
+        any_busy = true;
+        break;
+      }
+    if (!any_busy) c.idle_cycles++;
+  }
+}
+
+std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
+                                         std::uint64_t max_cycles) {
+  // Preconditions: time-multiplexed routing only (slice-to-slice hops renew
+  // input FIFOs mid-span), and an input side that provably cannot move for
+  // the whole span — draining slices never pop their input FIFOs, so a
+  // blocked broadcast stays blocked and a full streamer FIFO stays full.
+  if (!pipe_routes_.empty()) return 0;
+  std::uint64_t limit = max_cycles - c.cycles;
+  if (!in_dma_.fifo().empty()) {
+    bool all_space = true;
+    for (const auto d : routes_.input_dest)
+      if (slices_[d].in_fifo().full()) {
+        all_space = false;
+        break;
+      }
+    if (all_space) return 0;  // a broadcast move would land this cycle
+  }
+  if (!in_dma_.transfer_done()) {
+    const std::uint64_t w = in_dma_.next_activity_delta();
+    if (w == 1) return 0;  // a fetch would land this cycle
+    if (w != kNeverActive) limit = std::min(limit, w - 1);
+    // kNeverActive: blocked on its full FIFO behind the blocked broadcast.
+  }
+  if (limit == 0) return 0;
+
+  // Classify slices. Participants feed the replay (FIRE emission, drains,
+  // countdowns that resume emitting in-span); every participant must be
+  // memory-routed. Countdowns that retire into the decoder bound the span.
+  std::size_t n_parts = 0;
+  std::array<std::uint8_t, 64> part_of{};  // slice index -> participant + 1
+  std::uint64_t request = 0;               // slices with a nonempty out FIFO
+  bool inert_busy = false;                 // a busy non-participant slice
+  for (std::uint32_t i = 0; i < slices_.size(); ++i) {
+    const Slice& sl = slices_[i];
+    if (!sl.configured()) continue;
+    const bool events = sl.cluster_pending() > 0 || !sl.out_fifo().empty();
+    bool part;
+    if (sl.countdown() > 0) {
+      if (sl.countdown_posts_idle()) {
+        // Retires into the decoder: stop the span one cycle short.
+        if (sl.countdown() <= 1) return 0;
+        limit = std::min(limit, sl.countdown() - 1);
+        part = events;
+        if (!part) inert_busy = true;  // skip_cycles() handles the countdown
+      } else {
+        part = true;  // resumes FIRE/DRAIN in-span
+      }
+    } else if (sl.in_pure_drain()) {
+      if (sl.cluster_pending() <= 1 && !sl.in_fifo().empty())
+        return 0;  // would exit at cycle 0
+      part = true;
+    } else if (sl.in_fire_state()) {
+      part = true;  // batch_fire's fallback: emission joins the replay
+    } else if (sl.in_idle_state()) {
+      if (!sl.in_fifo().empty()) return 0;  // decode imminent
+      part = events;                        // idle with out-FIFO remnants
+    } else {
+      return 0;  // WLOAD or a reference-path sweep state
+    }
+    if (!part) continue;
+    if (!(mem_slice_mask_ >> i & 1))
+      return 0;  // participant the collector cannot serve
+    DrainParticipant& p = drain_parts_[n_parts];
+    p.slice = i;
+    p.granted = 0;
+    sl.drain_replay_begin(p.replay);
+    p.replay.out_cap = cfg_.slice_out_fifo_depth;
+    if (p.replay.out_count > 0) request |= 1ull << i;
+    part_of[i] = static_cast<std::uint8_t>(++n_parts);
+  }
+  if (n_parts == 0) return 0;
+
+  const std::uint32_t dma_cap = cfg_.dma_fifo_depth;
+  for (std::size_t d = 0; d < out_dmas_.size(); ++d) {
+    DmaReplay& r = drain_dmas_[d];
+    const auto& fifo = out_dmas_[d].fifo();
+    r.count = static_cast<std::uint32_t>(fifo.size());
+    r.peak = r.count;
+    r.head = 0;
+    r.writes = 0;
+    r.appended = 0;
+    r.space = out_dmas_[d].region_space();
+    r.staged.clear();
+    for (std::size_t k = 0; k < fifo.size(); ++k)
+      r.staged.push_back(fifo.at(k));
+  }
+
+  // Replay the round-robin interleaving on counts and cursors. Each
+  // iteration is one machine cycle in tick()'s component order: DMA memory
+  // writes, collector grants, then the per-slice collector moves and
+  // state-machine steps.
+  std::size_t cursor = collector_arb_.cursor();
+  const std::size_t ports = collector_arb_.ports();
+  std::uint64_t span = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t idle_count = 0;
+  // The steady-state eligibility check is re-run only after something that
+  // can enable it (an emission/marker step, a countdown retiring, an out
+  // FIFO filling to capacity) — pure drain cycles cannot.
+  bool steady_dirty = true;
+  while (span < limit) {
+    // Boundaries the per-cycle paths must handle: a drainer one cycle from
+    // decoding queued input, or an output region one word from overflowing
+    // (the reference path throws there).
+    bool boundary = false;
+    for (std::size_t k = 0; k < n_parts && !boundary; ++k)
+      boundary = drain_parts_[k].replay.must_exit();
+    bool all_quiet = !boundary;
+    for (std::size_t d = 0; d < out_dmas_.size() && !boundary; ++d) {
+      const DmaReplay& r = drain_dmas_[d];
+      if (r.count > 0 && r.writes >= r.space) boundary = true;
+      if (r.count > 0) all_quiet = false;
+    }
+    if (boundary) break;
+    if (all_quiet) {
+      for (std::size_t k = 0; k < n_parts && all_quiet; ++k)
+        all_quiet = drain_parts_[k].replay.quiet();
+      if (all_quiet) break;  // everything ran dry; the generic loop resumes
+    }
+
+    // --- steady-state block ------------------------------------------------
+    // With a single output DMA, the drain settles into a strictly periodic
+    // regime: every cycle writes one word, grants one slice in round-robin
+    // rotation, and the granted slice refills its out FIFO from its cluster
+    // queues — while every emitting slice is parked on a full cluster and
+    // every state machine is frozen. The block advances K such cycles with
+    // one event move per iteration and charges the per-cycle activity
+    // (stalls, busy cycles) arithmetically.
+    if (out_dmas_.size() == 1 && steady_dirty && drain_dmas_[0].count >= 1 &&
+        request != 0) {
+      std::uint64_t rounds = kNeverActive;  // per-member grant allowance
+      std::uint32_t busy_members = 0;
+      std::uint64_t stall_members = 0;  // bitmask of parked FIRE slices
+      std::uint64_t drain_members = 0;  // bitmask of busy drain/fire members
+      bool steady = true;
+      for (std::size_t k = 0; k < n_parts && steady; ++k) {
+        const auto& rep = drain_parts_[k].replay;
+        const std::uint64_t bit = 1ull << drain_parts_[k].slice;
+        if (rep.busy()) ++busy_members;
+        if (rep.vcountdown > 0) {
+          steady = false;
+        } else if (!(request & bit)) {
+          steady = rep.quiet();  // only inert members may sit outside
+        } else if (rep.is_idle_state()) {
+          // Passive source: drains its out remnants, no refill.
+          if (rep.pending != 0) steady = false;
+          else rounds = std::min(rounds, std::uint64_t{rep.out_count});
+        } else if (rep.fast_class() == 1 && rep.out_count == rep.out_cap &&
+                   rep.pending >= 2) {
+          // Parked FIRE emitter: stays stalled while some full firing
+          // cluster of its slot stays full. Any such cluster certifies the
+          // park; pick the one farthest in round-robin order (the last
+          // full certificate the up-moves would reach) to maximize the
+          // compressed span.
+          const std::uint64_t certs = rep.stall_mask & rep.full;
+          const std::size_t cur = rep.arb_cursor;
+          const std::uint64_t below = certs & ~(~0ull << cur);
+          const std::size_t pick = static_cast<std::size_t>(
+              63 - std::countl_zero(below ? below : certs));
+          const std::uint64_t upto =
+              pick == 63 ? ~0ull : (1ull << (pick + 1)) - 1;
+          std::uint64_t range;
+          if (pick >= cur)
+            range = rep.nonempty & (~0ull << cur) & upto;
+          else
+            range = (rep.nonempty & (~0ull << cur)) | (rep.nonempty & upto);
+          const auto dist = static_cast<std::uint64_t>(std::popcount(range));
+          if (dist < 2)
+            steady = false;  // the very next up-move could unpark it
+          else
+            rounds = std::min(
+                rounds, std::min(dist - 1, std::uint64_t{rep.pending} - 1));
+          stall_members |= bit;
+          drain_members |= bit;
+        } else if (rep.fast_class() == 2 && rep.out_count == rep.out_cap &&
+                   rep.pending >= 2) {
+          // Post-scan drainer at full back-pressure.
+          rounds = std::min(rounds, std::uint64_t{rep.pending} - 1);
+          drain_members |= bit;
+        } else {
+          steady = false;  // still filling, marker imminent, or emitting
+        }
+      }
+      const std::uint64_t members =
+          static_cast<std::uint64_t>(std::popcount(request));
+      if (steady && rounds != kNeverActive && rounds > 0) {
+        DmaReplay& r0 = drain_dmas_[0];
+        // Whole rotation rounds only: every member then receives exactly
+        // `turns` grants, at a fixed stride in the staged word stream.
+        std::uint64_t turns = rounds;
+        turns = std::min(turns, (limit - span) / members);
+        turns = std::min(
+            turns,
+            (static_cast<std::uint64_t>(r0.space) - r0.writes) / members);
+        const std::uint64_t block = turns * members;
+        if (block > 0) {
+          std::uint64_t ups = 0;
+          const std::size_t base = r0.staged.size();
+          r0.staged.resize(base + block);
+          std::size_t rot = 0;  // member position in the rotation
+          for (std::uint64_t i = 0; i < members; ++i, ++rot) {
+            const std::size_t g =
+                hwsim::RoundRobinArbiter::first_from(cursor, request);
+            cursor = g + 1 == ports ? 0 : g + 1;
+            DrainParticipant& p = drain_parts_[part_of[g] - 1];
+            auto& rep = p.replay;
+            event::Beat* dst = r0.staged.data() + base + rot;
+            if (rep.pending > 0) {
+              // Emitting member: each grant is refilled the same cycle by
+              // its cluster collector, so the out window slides in place.
+              rep.out_seq.reserve(rep.out_seq.size() + turns);
+              for (std::uint64_t j = 0; j < turns; ++j) {
+                dst[j * members] = event::pack(rep.out_seq[p.granted + j]);
+                const std::size_t cg = hwsim::RoundRobinArbiter::first_from(
+                    rep.arb_cursor, rep.nonempty);
+                rep.out_seq.push_back(rep.queue[cg][rep.head[cg]++]);
+                rep.full &= ~(1ull << cg);
+                if (--rep.count[cg] == 0) rep.nonempty &= ~(1ull << cg);
+                rep.arb_cursor = cg + 1 == rep.arb_ports ? 0 : cg + 1;
+              }
+              rep.pending -= static_cast<std::uint32_t>(turns);
+              p.granted += static_cast<std::uint32_t>(turns);
+              ups += turns;
+            } else {
+              // Passive source: drains its remnants, no refill.
+              for (std::uint64_t j = 0; j < turns; ++j)
+                dst[j * members] = event::pack(rep.out_seq[p.granted + j]);
+              p.granted += static_cast<std::uint32_t>(turns);
+              rep.out_count -= static_cast<std::uint32_t>(turns);
+              if (rep.out_count == 0) request &= ~(1ull << g);
+            }
+          }
+          r0.writes += static_cast<std::uint32_t>(block);
+          r0.head += static_cast<std::uint32_t>(block);
+          r0.appended += static_cast<std::uint32_t>(block);
+          grants += block;
+          c.fifo_pops += ups;
+          c.fifo_pushes += ups;
+          c.fifo_stall_cycles +=
+              block * static_cast<std::uint64_t>(std::popcount(stall_members));
+          c.slice_busy_cycles +=
+              block * static_cast<std::uint64_t>(std::popcount(drain_members));
+          if (busy_members == 0 && !inert_busy) idle_count += block;
+          span += block;
+          continue;
+        }
+      }
+      steady_dirty = false;
+    }
+    // --- one replayed cycle ------------------------------------------------
+    for (std::size_t d = 0; d < out_dmas_.size(); ++d) {
+      DmaReplay& r = drain_dmas_[d];
+      if (r.count == 0) continue;
+      ++r.writes;
+      ++r.head;
+      --r.count;
+    }
+    for (std::size_t d = 0; d < out_dmas_.size(); ++d) {
+      DmaReplay& r = drain_dmas_[d];
+      if (r.count >= dma_cap) continue;
+      if (request == 0) break;  // collector_tick returns on a failed grant
+      const std::size_t g =
+          hwsim::RoundRobinArbiter::first_from(cursor, request);
+      cursor = g + 1 == ports ? 0 : g + 1;
+      DrainParticipant& p = drain_parts_[part_of[g] - 1];
+      r.staged.push_back(event::pack(p.replay.out_seq[p.granted]));
+      ++p.granted;
+      ++r.appended;
+      ++r.count;
+      ++grants;
+      if (r.count > r.peak) r.peak = r.count;
+      if (--p.replay.out_count == 0) request &= ~(1ull << g);
+    }
+    bool any_busy = inert_busy;
+    for (std::size_t k = 0; k < n_parts; ++k) {
+      DrainParticipant& p = drain_parts_[k];
+      auto& rep = p.replay;
+      // tick_collector, then the state machine — tick()'s order, with the
+      // hot cases (countdown ticks, parked stalls, draining, idle) inlined
+      // and only real emission/marker work calling into the slice.
+      const std::uint32_t out_before = rep.out_count;
+      rep.up_move(c);
+      if (rep.out_count != out_before && rep.out_count == rep.out_cap)
+        steady_dirty = true;
+      if (rep.vcountdown > 0) {
+        if (--rep.vcountdown == 0) {
+          rep.vstate = rep.vpost;
+          SNE_ASSERT(!rep.is_idle_state());  // kIdle posts bound the span
+          steady_dirty = true;
+        }
+      } else {
+        switch (rep.fast_class()) {
+          case 0:
+            break;  // idle; input FIFO provably empty
+          case 1:  // FIRE step provably re-stalls on a still-full cluster
+            c.slice_busy_cycles++;
+            c.fifo_stall_cycles++;
+            break;
+          case 2:  // post-scan drain with events still queued
+            c.slice_busy_cycles++;
+            break;
+          default:
+            slices_[p.slice].drain_replay_step(rep, c);
+            steady_dirty = true;
+        }
+      }
+      if (rep.out_count > 0) request |= 1ull << p.slice;
+      if (rep.busy()) any_busy = true;
+    }
+    if (!any_busy) ++idle_count;
+    ++span;
+  }
+  if (span == 0) return 0;
+
+  // Commit: memory image in one burst per DMA, everything else in bulk.
+  std::uint64_t writes_total = 0;
+  for (std::size_t d = 0; d < out_dmas_.size(); ++d) {
+    DmaReplay& r = drain_dmas_[d];
+    out_dmas_[d].write_burst(r.staged.data(), r.writes, c);
+    out_dmas_[d].fifo().reconcile_bulk(r.appended, r.writes, r.peak,
+                                       r.staged.data() + r.head, r.count);
+    writes_total += r.writes;
+  }
+  for (std::size_t k = 0; k < n_parts; ++k) {
+    DrainParticipant& p = drain_parts_[k];
+    Slice& sl = slices_[p.slice];
+    auto& rep = p.replay;
+    sl.drain_replay_commit(rep);  // cluster FIFOs, state machine, cursors
+    // Out FIFO: survivors are the window [granted, granted + out_count) of
+    // the recorded sequence; in-span pushes exclude the span-start prefix.
+    sl.out_fifo().reconcile_bulk(rep.out_seq.size() - rep.out0, p.granted,
+                                 rep.out_peak, rep.out_seq.data() + p.granted,
+                                 rep.out_count);
+  }
+  for (std::size_t i = 0; i < slices_.size(); ++i)
+    if (!part_of[i]) slices_[i].skip_cycles(span);
+  in_dma_.skip_cycles(span);
+  collector_arb_.set_cursor(cursor);
+  c.fifo_pops += writes_total + grants;  // DMA drains + collector grants
+  c.fifo_pushes += grants;               // collector pushes into the DMAs
+  c.xbar_beats += grants;
+  c.cycles += span;
+  c.idle_cycles += idle_count;
+  return span;
+}
+
 void SneEngine::collector_tick(hwsim::ActivityCounters& c) {
   // "a single DMA can provide significantly more bandwidth than required on
   // a single SL output port. Therefore, the collector arbitrates between the
   // SLs output ports and multiplexes them into a single event stream." With
   // several output DMAs configured, the collector issues one beat per DMA
   // per cycle (paper IV-A.3's bandwidth-scaling knob).
+  //
+  // The request mask mirrors the former per-port predicate (memory-routed
+  // and output FIFO nonempty) over the precomputed slice list; grants are
+  // identical, at two bit scans per DMA instead of a route-table walk.
+  std::uint64_t request = 0;
+  for (const auto i : mem_slices_)
+    if (!slices_[i].out_fifo().empty()) request |= 1ull << i;
   for (auto& dma : out_dmas_) {
     if (dma.fifo().full()) continue;
-    const int granted = collector_arb_.grant([this](std::size_t i) {
-      if (i >= routes_.slice_dest.size()) return false;
-      if (routes_.slice_dest[i].dest != SliceRoute::kToMemory) return false;
-      return !slices_[i].out_fifo().empty();
-    });
+    const int granted = collector_arb_.grant_masked(request);
     if (granted < 0) return;
-    const event::Event e =
-        slices_[static_cast<std::size_t>(granted)].out_fifo().pop();
+    auto& src = slices_[static_cast<std::size_t>(granted)].out_fifo();
+    const event::Event e = src.pop();
+    if (src.empty()) request &= ~(1ull << granted);
     c.fifo_pops++;
     const bool ok = dma.fifo().try_push(event::pack(e));
     SNE_ASSERT(ok);

@@ -30,6 +30,11 @@ namespace sne::core {
 struct RunOptions {
   std::uint64_t max_cycles = 2'000'000'000ull;  ///< livelock guard
   event::StreamGeometry out_geometry{};  ///< stamped on the output stream
+  /// Build RunResult::output from the written memory regions. Counter-only
+  /// sweeps (energy ablations, throughput benches) can turn this off to
+  /// skip the dump/decode/normalize pass; cycles and counters are
+  /// unaffected and the events remain in engine memory.
+  bool materialize_output = true;
 };
 
 struct RunResult {
@@ -76,6 +81,7 @@ class SneEngine {
   void set_routes(XbarRoutes routes) {
     routes.validate(cfg_.num_slices);
     routes_ = std::move(routes);
+    rebuild_route_index();
   }
   const XbarRoutes& routes() const { return routes_; }
 
@@ -98,6 +104,7 @@ class SneEngine {
   struct ScanState {
     bool any_slice_busy = false;   ///< some slice is executing or holds input
     bool any_slice_out = false;    ///< some slice output FIFO is nonempty
+    bool any_drain = false;        ///< some slice holds spikes / FIRE / DRAIN
     bool out_dma_pending = false;  ///< some output DMA FIFO is nonempty
     bool in_drained = false;       ///< input DMA done and its FIFO empty
     bool quiescent() const {
@@ -118,6 +125,32 @@ class SneEngine {
   void xbar_slice_moves(hwsim::ActivityCounters& c);
   void collector_tick(hwsim::ActivityCounters& c);
 
+  /// Rebuilds the memory-routed slice list and the pipeline hop list from
+  /// routes_ (shared by the collector, the activity scan and the drain
+  /// engine instead of three per-cycle route-table re-scans).
+  void rebuild_route_index();
+
+  // --- batched drain engine -------------------------------------------------
+  /// Replays a drain-dominated span: a specialized kernel executes the
+  /// collector/DMA chain cycle-exactly with precomputed route lists and
+  /// masked round-robin grants, and pure-drain spans are compressed through
+  /// drain_bulk_span(). Returns the number of cycles simulated (0 = the
+  /// configuration needs the generic loop); exits at the first cycle whose
+  /// semantics the kernel cannot prove (event decode, countdown expiry,
+  /// reference-path sweeps, livelock bound).
+  std::uint64_t drain_burst(hwsim::ActivityCounters& c,
+                            std::uint64_t max_cycles);
+
+  /// Bulk replay of a drain-dominated span (every busy slice emitting
+  /// spikes in FIRE, draining, or under an inert countdown; input side
+  /// provably static): runs the deterministic round-robin interleaving on
+  /// count queues and cursors, emits the exact per-cycle event order into
+  /// memory, and advances cycles in bulk — the batched form of the former
+  /// per-cycle batch_fire fallback. Returns cycles compressed
+  /// (0 = preconditions unmet).
+  std::uint64_t drain_bulk_span(hwsim::ActivityCounters& c,
+                                std::uint64_t max_cycles);
+
   SneConfig cfg_;
   hwsim::MemoryModel mem_;
   std::vector<Slice> slices_;  ///< by value: hot loops stay cache-local
@@ -128,6 +161,30 @@ class SneEngine {
   hwsim::ActivityCounters total_;
   std::size_t out_region_base_ = 0;
   std::size_t out_region_words_ = 0;
+
+  // Route index (rebuilt by rebuild_route_index).
+  std::vector<std::uint32_t> mem_slices_;  ///< slices routed kToMemory
+  std::uint64_t mem_slice_mask_ = 0;       ///< same, as a bitmask
+  /// (src, dest) slice-to-slice hops, ascending src (pipeline mode).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pipe_routes_;
+
+  /// Reusable scratch of drain_bulk_span (no per-span allocation).
+  struct DrainParticipant {
+    std::uint32_t slice = 0;    ///< slice index
+    std::uint32_t granted = 0;  ///< events popped by the engine collector
+    Slice::DrainReplay replay;  ///< the slice-side virtual state
+  };
+  struct DmaReplay {
+    std::uint32_t count = 0;    ///< current FIFO occupancy
+    std::uint32_t peak = 0;     ///< max occupancy over the span
+    std::uint32_t head = 0;     ///< next staged word to write to memory
+    std::uint32_t writes = 0;   ///< words written to memory this span
+    std::uint32_t appended = 0; ///< words pushed by the collector this span
+    std::size_t space = 0;      ///< output-region words left at span start
+    std::vector<event::Beat> staged;  ///< initial FIFO contents + appends
+  };
+  std::vector<DrainParticipant> drain_parts_;
+  std::vector<DmaReplay> drain_dmas_;
 };
 
 }  // namespace sne::core

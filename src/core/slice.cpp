@@ -88,6 +88,7 @@ void Slice::configure(const SliceConfig& cfg) {
   post_state_ = State::kIdle;
   sweep_slots_ = 0;
   cluster_pending_ = 0;
+  cluster_nonempty_ = 0;
   for (auto& cl : clusters_) cl.out_fifo.clear();
   in_fifo_.clear();
   out_fifo_.clear();
@@ -281,7 +282,8 @@ void Slice::tick_fire(hwsim::ActivityCounters& c) {
     return;  // retry the same TDM address next cycle
   }
 
-  for (auto& cl : clusters_) {
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    Cluster& cl = clusters_[i];
     if (!cl.map.enabled) continue;
     if (!slot_mapped(cl, slot)) continue;  // slot not mapped to a real neuron
     c.fire_checks++;
@@ -292,6 +294,7 @@ void Slice::tick_fire(hwsim::ActivityCounters& c) {
       const bool ok = cl.out_fifo.try_push(*output_event(cl, slot, current_.t));
       SNE_ASSERT(ok);  // guaranteed by the stall check above
       ++cluster_pending_;
+      cluster_nonempty_ |= 1ull << i;
       c.fifo_pushes++;
       c.output_events++;
       fired_any_ = true;
@@ -301,7 +304,9 @@ void Slice::tick_fire(hwsim::ActivityCounters& c) {
   if (++sweep_pos_ >= schedule_.size()) state_ = State::kDrain;
 }
 
-void Slice::tick_fire_cached(hwsim::ActivityCounters& c) {
+template <typename Sink>
+void Slice::fire_step(Sink&& sink, State& state, std::uint64_t& countdown,
+                      State& post, hwsim::ActivityCounters& c) {
   // Fast-forward FIRE step driven by the scan cache batch_fire filled at
   // decode: the stall check probes only the clusters that will spike, the
   // commit reuses the cached caught-up membranes, and runs of spike-free
@@ -314,7 +319,8 @@ void Slice::tick_fire_cached(hwsim::ActivityCounters& c) {
   while (fm) {
     const unsigned i = static_cast<unsigned>(std::countr_zero(fm));
     fm &= fm - 1;
-    if (clusters_[i].out_fifo.full()) {
+    if (sink.full(i)) {
+      sink.stalled(i, fire_mask_[slot]);
       c.fifo_stall_cycles++;
       return;  // retry the same TDM address next cycle
     }
@@ -332,9 +338,7 @@ void Slice::tick_fire_cached(hwsim::ActivityCounters& c) {
     const bool fired = cl.neurons[slot].commit_fire(
         fire_leaked_[i * npc + slot], current_.t, cfg_.lif);
     SNE_ASSERT(fired);  // fire_mask_ is exact
-    const bool ok = cl.out_fifo.try_push(*output_event(cl, slot, current_.t));
-    SNE_ASSERT(ok);  // guaranteed by the stall check above
-    ++cluster_pending_;
+    sink.push(i, *output_event(cl, slot, current_.t));
     c.fifo_pushes++;
     c.output_events++;
     fired_any_ = true;
@@ -358,19 +362,36 @@ void Slice::tick_fire_cached(hwsim::ActivityCounters& c) {
   c.active_cluster_cycles += checks;
   if (sweep_pos_ >= schedule_.size()) {
     if (extra == 0) {
-      state_ = State::kDrain;  // this tick executed the final slot
+      state = State::kDrain;  // this tick executed the final slot
     } else {
       c.slice_busy_cycles += extra;
-      countdown_ = extra;
-      post_state_ = State::kDrain;
+      countdown = extra;
+      post = State::kDrain;
     }
     return;
   }
   if (extra > 0) {
     c.slice_busy_cycles += extra;
-    countdown_ = extra;
-    post_state_ = State::kFire;
+    countdown = extra;
+    post = State::kFire;
   }
+}
+
+void Slice::tick_fire_cached(hwsim::ActivityCounters& c) {
+  // The real-FIFO sink: pushes land in the cluster ring buffers and the
+  // pending count / nonempty mask track them.
+  struct RealSink {
+    Slice* s;
+    bool full(unsigned i) const { return s->clusters_[i].out_fifo.full(); }
+    void stalled(unsigned, std::uint64_t) const {}
+    void push(unsigned i, const event::Event& e) {
+      const bool ok = s->clusters_[i].out_fifo.try_push(e);
+      SNE_ASSERT(ok);  // guaranteed by the stall check
+      ++s->cluster_pending_;
+      s->cluster_nonempty_ |= 1ull << i;
+    }
+  };
+  fire_step(RealSink{this}, state_, countdown_, post_state_, c);
 }
 
 void Slice::tick_reset(hwsim::ActivityCounters& c) {
@@ -422,16 +443,134 @@ void Slice::tick_drain(hwsim::ActivityCounters& c) {
 void Slice::tick_collector(hwsim::ActivityCounters& c) {
   if (cluster_pending_ == 0) return;  // nothing to arbitrate
   if (out_fifo_.full()) return;
-  const int granted = collector_arb_.grant([this](std::size_t i) {
-    return !clusters_[i].out_fifo.empty();
-  });
-  if (granted < 0) return;
-  const event::Event e = clusters_[static_cast<std::size_t>(granted)].out_fifo.pop();
+  // cluster_nonempty_ mirrors per-FIFO emptiness exactly, so the masked
+  // grant issues the same round-robin sequence as probing every FIFO.
+  const int granted = collector_arb_.grant_masked(cluster_nonempty_);
+  SNE_ASSERT(granted >= 0);  // cluster_pending_ > 0 implies a request bit
+  auto& src = clusters_[static_cast<std::size_t>(granted)].out_fifo;
+  const event::Event e = src.pop();
+  if (src.empty()) cluster_nonempty_ &= ~(1ull << granted);
   --cluster_pending_;
   c.fifo_pops++;
   const bool ok = out_fifo_.try_push(e);
   SNE_ASSERT(ok);
   c.fifo_pushes++;
+}
+
+void Slice::drain_tick(hwsim::ActivityCounters& c) {
+  if (!configured_) return;  // statically idle (engine routes validated)
+  tick_collector(c);
+  const bool was_busy = state_ != State::kIdle;
+  if (countdown_ > 0) {
+    // drain_cycle_ok() admitted countdown_ > 1 only, so the decrement can
+    // never retire the sweep here.
+    --countdown_;
+    return;
+  }
+  if (!was_busy) return;  // idle with empty input FIFO
+  c.slice_busy_cycles++;
+  switch (state_) {
+    case State::kFire:
+      tick_fire(c);
+      break;
+    case State::kDrain:
+      tick_drain(c);
+      break;
+    default:
+      SNE_ASSERT(false);  // excluded by drain_cycle_ok()
+  }
+}
+
+void Slice::drain_replay_begin(DrainReplay& r) const {
+  r.nonempty = cluster_nonempty_;
+  r.pending = cluster_pending_;
+  r.arb_cursor = collector_arb_.cursor();
+  r.arb_ports = clusters_.size();
+  r.cluster_cap = hw_->cluster_fifo_depth;
+  r.in_nonempty = !in_fifo_.empty();
+  r.full = 0;
+  for (std::size_t g = 0; g < clusters_.size(); ++g) {
+    const auto& fifo = clusters_[g].out_fifo;
+    const auto n = static_cast<std::uint16_t>(fifo.size());
+    r.count[g] = n;
+    r.init[g] = n;
+    r.peak[g] = n;
+    r.head[g] = 0;
+    if (n >= r.cluster_cap) r.full |= 1ull << g;
+    r.queue[g].clear();
+    for (std::size_t k = 0; k < n; ++k) r.queue[g].push_back(fifo.at(k));
+  }
+  r.out_seq.clear();
+  for (std::size_t k = 0; k < out_fifo_.size(); ++k)
+    r.out_seq.push_back(out_fifo_.at(k));
+  r.out0 = static_cast<std::uint32_t>(out_fifo_.size());
+  r.out_count = r.out0;
+  r.out_peak = r.out0;
+  r.vstate = state_;
+  r.vpost = post_state_;
+  r.vcountdown = countdown_;
+  r.stall_on = -1;
+}
+
+void Slice::drain_replay_step(DrainReplay& r, hwsim::ActivityCounters& c) {
+  switch (r.vstate) {
+    case State::kFire: {
+      c.slice_busy_cycles++;
+      // The virtual sink: spikes land in the count queues the up-moves
+      // consume; the first full cluster parks the slice (see fast_class).
+      struct VirtualSink {
+        DrainReplay* r;
+        bool full(unsigned i) const { return r->count[i] >= r->cluster_cap; }
+        void stalled(unsigned i, std::uint64_t slot_mask) const {
+          r->stall_on = static_cast<std::int32_t>(i);
+          r->stall_mask = slot_mask;
+        }
+        void push(unsigned i, const event::Event& e) {
+          r->queue[i].push_back(e);
+          if (++r->count[i] >= r->cluster_cap) r->full |= 1ull << i;
+          if (r->count[i] > r->peak[i]) r->peak[i] = r->count[i];
+          r->nonempty |= 1ull << i;
+          ++r->pending;
+        }
+      };
+      r.stall_on = -1;
+      fire_step(VirtualSink{&r}, r.vstate, r.vcountdown, r.vpost, c);
+      return;
+    }
+    case State::kDrain: {
+      c.slice_busy_cycles++;
+      SNE_ASSERT(r.pending == 0);  // pending != 0 is engine-inlined
+      if (current_.op == event::Op::kFire && !fired_any_) {
+        r.vstate = State::kIdle;  // marker elided (silent scan)
+        return;
+      }
+      if (r.out_count >= r.out_cap) return;  // marker waits for space
+      r.out_seq.push_back(current_);
+      if (++r.out_count > r.out_peak) r.out_peak = r.out_count;
+      c.fifo_pushes++;
+      r.vstate = State::kIdle;
+      return;
+    }
+    default:
+      SNE_ASSERT(false);  // excluded at span entry / by fast_class
+  }
+}
+
+void Slice::drain_replay_commit(DrainReplay& r) {
+  for (std::size_t g = 0; g < clusters_.size(); ++g) {
+    const std::size_t pushes = r.queue[g].size() - r.init[g];
+    const std::size_t pops = r.head[g];
+    if (pushes == 0 && pops == 0) continue;
+    clusters_[g].out_fifo.reconcile_bulk(pushes, pops, r.peak[g],
+                                         r.queue[g].data() + r.head[g],
+                                         r.count[g]);
+  }
+  cluster_pending_ = r.pending;
+  cluster_nonempty_ = r.nonempty;
+  collector_arb_.set_cursor(r.arb_cursor);
+  state_ = r.vstate;
+  post_state_ = r.vpost;
+  countdown_ = r.vcountdown;
 }
 
 bool Slice::compute_event_filter(const event::Event& e) {

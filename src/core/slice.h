@@ -60,6 +60,8 @@ struct Cluster {
 };
 
 class Slice {
+  enum class State : std::uint8_t;  // defined below; opaque for DrainReplay
+
  public:
   Slice(std::uint32_t slice_id, const SneConfig& hw);
 
@@ -90,6 +92,178 @@ class Slice {
 
   /// Advances one clock cycle.
   void tick(hwsim::ActivityCounters& c);
+
+  // --- batched drain engine support ----------------------------------------
+  // The engine's drain kernel replays drain-dominated spans through a
+  // specialized per-cycle path plus a closed-form bulk model; the slice side
+  // below exposes exactly the state and transitions that replay needs.
+
+  /// Spikes queued across the cluster output FIFOs right now.
+  std::uint32_t cluster_pending() const { return cluster_pending_; }
+  /// Residual occupancy countdown of a batch-executed sweep (0 = none).
+  std::uint64_t countdown() const { return countdown_; }
+  /// True while this slice produces cycle-by-cycle drain work: queued
+  /// cluster spikes, or an active FIRE/DRAIN step not under a countdown.
+  bool draining() const {
+    return cluster_pending_ > 0 ||
+           (countdown_ == 0 &&
+            (state_ == State::kFire || state_ == State::kDrain));
+  }
+  /// True when the slice sits in the post-scan DRAIN state with no residual
+  /// countdown (the pure-drain configuration the bulk model compresses).
+  bool in_pure_drain() const {
+    return state_ == State::kDrain && countdown_ == 0;
+  }
+  bool in_idle_state() const { return state_ == State::kIdle; }
+  /// Mid-FIRE-scan with no residual countdown (an active emission step).
+  bool in_fire_state() const {
+    return state_ == State::kFire && countdown_ == 0;
+  }
+  /// A retiring countdown hands control back to the decoder (kIdle post
+  /// state); the bulk replay must stop before that cycle.
+  bool countdown_posts_idle() const { return post_state_ == State::kIdle; }
+
+  /// May the drain kernel tick this slice this cycle? False when the cycle
+  /// could decode a new event, retire a countdown, or needs a per-cycle
+  /// sweep handler — those paths belong to the generic engine loop.
+  /// `incoming_hop`: a slice-to-slice C-XBAR move can land in this slice's
+  /// input FIFO this cycle (those land before the slice ticks, so an idle
+  /// slice would decode the hopped event within the same cycle).
+  bool drain_cycle_ok(bool incoming_hop) const {
+    if (!configured_) return true;  // statically idle; tick() is a no-op
+    if (countdown_ > 0) return countdown_ > 1;
+    switch (state_) {
+      case State::kIdle:
+        return in_fifo_.empty() && !incoming_hop;
+      case State::kFire:
+        return true;
+      case State::kDrain:
+        // pending <= 1 can finish the drain this cycle; with input queued
+        // (or arriving) the same cycle then decodes the next event.
+        return cluster_pending_ > 1 || (in_fifo_.empty() && !incoming_hop);
+      default:
+        return false;  // UPDATE/RESET reference sweeps, WLOAD
+    }
+  }
+
+  /// One drain-kernel cycle: identical transitions and counter charges to
+  /// tick() for the states drain_cycle_ok() admits, minus the decode path
+  /// (provably unreachable under the precheck).
+  void drain_tick(hwsim::ActivityCounters& c);
+
+  /// Virtual slice state for the engine's bulk drain replay. The replay
+  /// runs this slice's drain-side behaviour — the cluster collector, FIRE
+  /// emission (batch_fire's former per-cycle fallback), countdowns and the
+  /// DRAIN marker — against count-based cluster queues instead of the real
+  /// FIFOs; commit() writes the final state back with the same statistics
+  /// the per-cycle interleaving would have produced. Neuron state mutations
+  /// (fire commits) happen eagerly during the replay: they are
+  /// timing-independent because each neuron is touched exactly once per
+  /// scan and only by its own commit.
+  struct DrainReplay {
+    // --- virtual cluster queues ---------------------------------------
+    // queue[g] holds cluster g's full event sequence: the FIFO contents at
+    // span start (init[g] of them, copied by begin()) plus every spike
+    // emitted in-span. head/count give the live window; everything the
+    // replay reads is in these arrays, so the engine's per-cycle loop
+    // never touches the real FIFOs.
+    std::array<std::vector<event::Event>, 64> queue;
+    std::array<std::uint16_t, 64> count{};  ///< live occupancy per cluster
+    std::array<std::uint16_t, 64> head{};   ///< events consumed per cluster
+    std::array<std::uint16_t, 64> init{};   ///< occupancy at span start
+    std::array<std::uint16_t, 64> peak{};   ///< high-water over the span
+    std::uint64_t nonempty = 0;   ///< clusters with a nonempty queue
+    std::uint32_t pending = 0;    ///< total queued cluster events
+    std::size_t arb_cursor = 0;   ///< local collector round-robin cursor
+    std::size_t arb_ports = 0;    ///< number of clusters
+    std::uint32_t cluster_cap = 0;
+    bool in_nonempty = false;     ///< input FIFO state (frozen in-span)
+    // --- out-FIFO window ------------------------------------------------
+    // out_seq likewise holds the out FIFO's span-start contents (out0 of
+    // them) plus every in-span push; the engine's collector grants read
+    // out_seq[granted] directly.
+    std::vector<event::Event> out_seq;
+    std::uint32_t out0 = 0;       ///< out-FIFO occupancy at span start
+    std::uint32_t out_count = 0;
+    std::uint32_t out_cap = 0;
+    std::uint32_t out_peak = 0;
+    // --- virtual state machine -----------------------------------------
+    State vstate{};
+    State vpost{};
+    std::uint64_t vcountdown = 0;
+    /// Cluster the last FIRE step stalled on (-1 = none): while it stays
+    /// full the scan provably re-stalls, so the engine parks the slice and
+    /// charges the stall arithmetically without re-entering the step.
+    std::int32_t stall_on = -1;
+    /// Firing clusters of the stalled slot: any full one certifies the
+    /// stall, so the steady-state block picks the one farthest in
+    /// round-robin order to maximize the compressed span.
+    std::uint64_t stall_mask = 0;
+    /// Clusters whose queue sits at capacity (maintained on push/pop).
+    std::uint64_t full = 0;
+
+    /// True when the next cycle would finish the drain and decode queued
+    /// input in the same cycle — the replay must stop before it.
+    bool must_exit() const {
+      return in_nonempty && vcountdown == 0 && vstate == State::kDrain &&
+             pending <= 1;
+    }
+    /// Nothing left to do (terminates the replay when all queues ran dry).
+    bool quiet() const {
+      return vstate == State::kIdle && vcountdown == 0 && pending == 0 &&
+             out_count == 0;
+    }
+    /// Mirrors Slice::busy() for the span's idle-cycle accounting.
+    bool busy() const { return in_nonempty || vstate != State::kIdle; }
+    bool is_idle_state() const { return vstate == State::kIdle; }
+
+    /// The engine's per-cycle collector move (tick_collector on the count
+    /// queues): pure DrainReplay state, inlined into the replay loop.
+    void up_move(hwsim::ActivityCounters& c) {
+      if (pending == 0 || out_count >= out_cap) return;
+      const std::size_t g =
+          hwsim::RoundRobinArbiter::first_from(arb_cursor, nonempty);
+      out_seq.push_back(queue[g][head[g]++]);
+      full &= ~(1ull << g);
+      if (--count[g] == 0) nonempty &= ~(1ull << g);
+      --pending;
+      if (++out_count > out_peak) out_peak = out_count;
+      c.fifo_pops++;
+      c.fifo_pushes++;
+      arb_cursor = g + 1 == arb_ports ? 0 : g + 1;
+    }
+
+    /// Post-up-move dispatch for the engine loop: 0 = idle (nothing),
+    /// 1 = FIRE step re-stalls (park: charge busy+stall inline; exact — a
+    /// scan stalls iff some firing cluster of its current slot is full),
+    /// 2 = draining with events left (charge busy inline),
+    /// 3 = needs the slice's state step (FIRE emission or DRAIN marker).
+    int fast_class() const {
+      switch (vstate) {
+        case State::kIdle:
+          return 0;
+        case State::kFire:
+          return stall_on >= 0 && (stall_mask & full) != 0 ? 1 : 3;
+        case State::kDrain:
+          return pending != 0 ? 2 : 3;
+        default:
+          return 3;
+      }
+    }
+  };
+
+  /// Captures this slice's drain state into `r` (cluster queues, out-FIFO
+  /// contents, arbiter cursor, state machine). The engine owns the grant
+  /// side of the out window.
+  void drain_replay_begin(DrainReplay& r) const;
+  /// The slow part of one virtual cycle (fast_class() == 3): an unparked
+  /// FIRE emission step or the DRAIN marker, charging counters exactly as
+  /// the per-cycle path would. The up-move already ran engine-side.
+  void drain_replay_step(DrainReplay& r, hwsim::ActivityCounters& c);
+  /// Writes the replayed state back: cluster FIFO contents + statistics,
+  /// pending count, arbiter cursor, and the state machine. The out FIFO is
+  /// reconciled by the engine (it owns the grant side).
+  void drain_replay_commit(DrainReplay& r);
 
   /// Cycles until this slice's next self-timed observable action: the
   /// remaining occupancy of a pre-executed sweep, 1 while anything is in
@@ -144,6 +318,15 @@ class Slice {
   void tick_update(hwsim::ActivityCounters& c);
   void tick_fire(hwsim::ActivityCounters& c);
   void tick_fire_cached(hwsim::ActivityCounters& c);
+  /// The FIRE-scan step shared by the per-cycle cached path and the bulk
+  /// drain replay: `sink` abstracts the cluster FIFOs (real ring buffers or
+  /// the replay's count queues); the state-machine outputs go to
+  /// `state`/`countdown`/`post` (the real members or the replay's virtual
+  /// ones). Stall semantics, counter charges, commit order and the
+  /// spike-free run-ahead are identical by construction.
+  template <typename Sink>
+  void fire_step(Sink&& sink, State& state, std::uint64_t& countdown,
+                 State& post, hwsim::ActivityCounters& c);
   void tick_reset(hwsim::ActivityCounters& c);
   void tick_wload(hwsim::ActivityCounters& c);
   void tick_drain(hwsim::ActivityCounters& c);
@@ -224,6 +407,10 @@ class Slice {
   /// per-cycle collector and the activity scan skip 16 FIFO probes when the
   /// slice has nothing to collect (the common case outside FIRE drains).
   std::uint32_t cluster_pending_ = 0;
+  /// Bit i set iff cluster i's output FIFO is nonempty (maintained at every
+  /// push/pop); the local collector grants from this mask in O(1) instead of
+  /// probing all cluster FIFOs, and the drain replay reads it directly.
+  std::uint64_t cluster_nonempty_ = 0;
   std::size_t sweep_pos_ = 0;
   bool write_phase_ = false;   ///< single-buffered state: 2-cycle updates
   std::uint32_t wload_remaining_ = 0;

@@ -117,6 +117,24 @@ class OutputStreamer {
     ++written_;
   }
 
+  /// Batched drain replay: commits `n` words the replay already popped from
+  /// the FIFO model. Memory contents, write cursor and the dma beat charges
+  /// are identical to n tick()s that popped these words; the FIFO-side pop
+  /// statistics are reconciled separately by the replay, which also proved
+  /// the words fit the region.
+  void write_burst(const event::Beat* beats, std::size_t n,
+                   hwsim::ActivityCounters& c) {
+    SNE_EXPECTS(written_ + n <= capacity_);
+    mem_->write_burst(base_ + written_, beats, n);
+    c.dma_write_beats += n;
+    written_ += n;
+  }
+
+  /// Words left in the output region (bounds a replayed span's writes).
+  std::size_t region_space() const {
+    return capacity_ > written_ ? capacity_ - written_ : 0;
+  }
+
  private:
   hwsim::MemoryModel* mem_;
   hwsim::Fifo<event::Beat> fifo_;

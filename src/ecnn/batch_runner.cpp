@@ -37,4 +37,24 @@ std::vector<NetworkRunStats> BatchRunner::run(
   return results;
 }
 
+std::vector<std::vector<GoldenExecutor::LayerTrace>> BatchRunner::run_golden(
+    const std::vector<event::EventStream>& inputs, event::FirePolicy policy) {
+  std::vector<std::vector<GoldenExecutor::LayerTrace>> results(inputs.size());
+  struct Ctx {
+    const BatchRunner* self;
+    const std::vector<event::EventStream>* inputs;
+    std::vector<std::vector<GoldenExecutor::LayerTrace>>* results;
+    event::FirePolicy policy;
+  };
+  Ctx ctx{this, &inputs, &results, policy};
+  const ThreadPool::TaskFn task = [](void* p, std::size_t k) {
+    Ctx& c = *static_cast<Ctx*>(p);
+    (*c.results)[k] = GoldenExecutor::run_network(c.self->net_, (*c.inputs)[k],
+                                                  c.policy);
+  };
+  ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
+  pool.run(task, &ctx, inputs.size());
+  return results;
+}
+
 }  // namespace sne::ecnn

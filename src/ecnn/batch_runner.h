@@ -19,6 +19,7 @@
 
 #include "common/thread_pool.h"
 #include "core/config.h"
+#include "ecnn/golden.h"
 #include "ecnn/quantized.h"
 #include "ecnn/runner.h"
 #include "event/event_stream.h"
@@ -47,6 +48,15 @@ class BatchRunner {
 
   /// Simulates one input on a fresh engine (the per-task body of run()).
   NetworkRunStats run_one(const event::EventStream& input) const;
+
+  /// Integer golden-model execution of the network over every input, one
+  /// sample per task (the accuracy/energy protocol loops are sample-wise
+  /// independent). results[i] holds the per-layer traces of inputs[i];
+  /// bitwise identical to a serial GoldenExecutor loop for any worker
+  /// count.
+  std::vector<std::vector<GoldenExecutor::LayerTrace>> run_golden(
+      const std::vector<event::EventStream>& inputs,
+      event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly);
 
   const core::SneConfig& hw() const { return hw_; }
   const QuantizedNetwork& network() const { return net_; }

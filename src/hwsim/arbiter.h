@@ -4,7 +4,9 @@
 // choice and is documented as ours.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 
 #include "common/contracts.h"
 
@@ -33,6 +35,35 @@ class RoundRobinArbiter {
       }
     }
     return -1;
+  }
+
+  /// Grant from a request bitmask (bit i = port i requests). Identical grant
+  /// sequence to grant() over the same requesters, computed with two bit
+  /// scans instead of up to `ports` predicate probes. Requires ports <= 64.
+  int grant_masked(std::uint64_t request) {
+    SNE_EXPECTS(ports_ <= 64);
+    if (request == 0) return -1;
+    const std::size_t i = first_from(next_, request);
+    next_ = i + 1 == ports_ ? 0 : i + 1;
+    return static_cast<int>(i);
+  }
+
+  /// First requesting port at or after `cursor` (cyclically). `request` must
+  /// be nonzero. Pure: lets batched replays run the round-robin schedule on
+  /// a local cursor and commit the final state with set_cursor().
+  static std::size_t first_from(std::size_t cursor, std::uint64_t request) {
+    const std::uint64_t at_or_after = request & (~0ull << cursor);
+    return static_cast<std::size_t>(
+        std::countr_zero(at_or_after ? at_or_after : request));
+  }
+
+  /// Rotating-priority pointer (the port probed first on the next grant).
+  std::size_t cursor() const { return next_; }
+  /// Batched-replay commit: position the pointer as if the replayed grant
+  /// sequence had been issued through grant().
+  void set_cursor(std::size_t cursor) {
+    SNE_EXPECTS(cursor < ports_);
+    next_ = cursor;
   }
 
   void reset() { next_ = 0; }

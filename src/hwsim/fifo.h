@@ -62,6 +62,58 @@ class Fifo {
     return v;
   }
 
+  // --- bulk access (batched drain replay) ----------------------------------
+
+  /// Element `i` positions behind the front (at(0) == front()), without
+  /// popping. Gives replay engines contiguous-span access to queued words.
+  const T& at(std::size_t i) const {
+    SNE_EXPECTS(i < size_);
+    std::size_t p = head_ + i;
+    if (p >= capacity_) p -= capacity_;
+    return buf_[p];
+  }
+
+  /// Discards the front `n` elements in one call; accounting (pop count)
+  /// matches n successive pop() calls whose values the caller already
+  /// consumed via at().
+  void pop_n(std::size_t n) {
+    SNE_EXPECTS(n <= size_);
+    head_ += n;
+    if (head_ >= capacity_) head_ -= capacity_;
+    size_ -= n;
+    pops_ += n;
+  }
+
+  /// Pushes `n` elements in one call; the caller guarantees space (the
+  /// replay's flow-control model already proved it). Accounting matches n
+  /// successive try_push() calls.
+  void push_n(const T* src, std::size_t n) {
+    SNE_EXPECTS(n <= space());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t tail = head_ + size_ + i;
+      if (tail >= capacity_) tail -= capacity_;
+      buf_[tail] = src[i];
+    }
+    size_ += n;
+    if (size_ > high_water_) high_water_ = size_;
+    pushes_ += n;
+  }
+
+  /// Batched-replay reconciliation: charges `pushes`/`pops` transfer stats,
+  /// raises the high-water mark to the replayed span's `peak` occupancy, and
+  /// replaces the queue contents with the span's `n` survivors — exactly the
+  /// statistics and final state the per-cycle interleaving would have left.
+  void reconcile_bulk(std::uint64_t pushes, std::uint64_t pops,
+                      std::size_t peak, const T* survivors, std::size_t n) {
+    SNE_EXPECTS(n <= capacity_ && peak <= capacity_);
+    pushes_ += pushes;
+    pops_ += pops;
+    if (peak > high_water_) high_water_ = peak;
+    head_ = 0;
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) buf_[i] = survivors[i];
+  }
+
   void clear() {
     head_ = 0;
     size_ = 0;

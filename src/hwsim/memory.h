@@ -49,6 +49,14 @@ class MemoryModel {
     std::copy(data.begin(), data.end(), words_.begin() + static_cast<long>(base));
   }
 
+  /// Bulk streaming store (batched drain replay): identical contents to n
+  /// successive write_word calls.
+  void write_burst(std::size_t base, const std::uint32_t* words,
+                   std::size_t n) {
+    SNE_EXPECTS(base + n <= words_.size());
+    std::copy(words, words + n, words_.begin() + static_cast<long>(base));
+  }
+
   std::vector<std::uint32_t> dump(std::size_t base, std::size_t count) const {
     SNE_EXPECTS(base + count <= words_.size());
     return {words_.begin() + static_cast<long>(base),

@@ -90,6 +90,32 @@ void expect_equivalent(const NetworkRunStats& ref, const NetworkRunStats& fast) 
   EXPECT_TRUE(ref.final_output == fast.final_output);
 }
 
+/// Runs `net` on `input` with an explicit full hardware config (fast_forward
+/// and drain_batching as given), on a fresh engine.
+NetworkRunStats run_network_cfg(const SneConfig& hw, const QuantizedNetwork& net,
+                                const event::EventStream& input,
+                                std::size_t memory_words = 1u << 20) {
+  SneEngine engine(hw, memory_words);
+  NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  return runner.run(net, input);
+}
+
+/// Three-way equivalence: per-cycle reference vs fast-forward vs
+/// fast-forward + batched drain engine, all bit-identical.
+void expect_drain_equivalent(SneConfig hw, const QuantizedNetwork& net,
+                             const event::EventStream& input,
+                             std::size_t memory_words = 1u << 20) {
+  hw.fast_forward = false;
+  hw.drain_batching = false;
+  const auto ref = run_network_cfg(hw, net, input, memory_words);
+  hw.fast_forward = true;
+  const auto fast = run_network_cfg(hw, net, input, memory_words);
+  hw.drain_batching = true;
+  const auto drain = run_network_cfg(hw, net, input, memory_words);
+  expect_equivalent(ref, fast);
+  expect_equivalent(ref, drain);
+}
+
 TEST(FastForwardEquivalence, ConvLayerTimeMultiplexed) {
   QuantizedNetwork net;
   net.layers.push_back(conv_layer(2, 32, 4, 6, 5));
@@ -278,6 +304,119 @@ TEST(FastForwardEquivalence, WloadStreamProgramming) {
   }
   ASSERT_GT(stats[0].total.weight_load_beats, 0u);
   expect_equivalent(stats[0], stats[1]);
+}
+
+// --- batched drain engine ----------------------------------------------------
+
+TEST(DrainEquivalence, DenseSpikingFire) {
+  // Zero threshold and non-negative weights: every mapped neuron fires at
+  // every scan, the worst case for the collector/DMA chain — exactly the
+  // interleaving the batched drain engine compresses.
+  QuantizedLayerSpec l = conv_layer(2, 16, 4, 0, 53);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(std::max(1, std::abs(w)));
+  QuantizedNetwork net;
+  net.layers.push_back(l);
+  const auto in = data::random_stream({2, 16, 16, 6}, 0.25, 77);
+  SneConfig hw = SneConfig::paper_design_point(2);
+  expect_drain_equivalent(hw, net, in);
+}
+
+TEST(DrainEquivalence, MultiOutputDmas) {
+  // The collector issues one beat per output DMA per cycle; the drain
+  // replay must reproduce the per-DMA interleaving for every configured
+  // width (paper IV-A.3's bandwidth-scaling knob).
+  QuantizedLayerSpec l = conv_layer(2, 16, 4, 0, 59);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(std::max(1, std::abs(w)));
+  QuantizedNetwork net;
+  net.layers.push_back(l);
+  const auto in = data::random_stream({2, 16, 16, 6}, 0.2, 79);
+  for (std::uint32_t dmas : {1u, 2u, 4u}) {
+    SneConfig hw = SneConfig::paper_design_point(4);
+    hw.num_output_dmas = dmas;
+    expect_drain_equivalent(hw, net, in);
+  }
+}
+
+TEST(DrainEquivalence, ShallowFifosDenseDrain) {
+  // Minimal buffering everywhere: stalls and backpressure at every hop of
+  // the drain chain, including repeated full slice-output FIFOs.
+  QuantizedLayerSpec l = conv_layer(1, 16, 2, 0, 61);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(std::max(1, std::abs(w)));
+  QuantizedNetwork net;
+  net.layers.push_back(l);
+  const auto in = data::random_stream({1, 16, 16, 8}, 0.3, 83);
+  SneConfig hw = SneConfig::paper_design_point(1);
+  hw.cluster_fifo_depth = 1;
+  hw.slice_out_fifo_depth = 1;
+  hw.dma_fifo_depth = 2;
+  expect_drain_equivalent(hw, net, in);
+}
+
+TEST(DrainEquivalence, PipelineBackpressureDuringDrain) {
+  // Pipeline operating mode with a spike-dense first stage and shallow
+  // inter-slice FIFOs: the downstream slice backpressures the upstream
+  // drain through the C-XBAR while both stages emit concurrently.
+  QuantizedLayerSpec l1 = conv_layer(1, 16, 2, 0, 67);
+  for (auto& w : l1.weights) w = static_cast<std::int8_t>(std::max(1, std::abs(w)));
+  auto l2 = conv_layer(2, 16, 2, 1, 71);
+  l2.name = "conv2";
+  QuantizedNetwork net;
+  net.layers.push_back(l1);
+  net.layers.push_back(l2);
+  const auto in = data::random_stream({1, 16, 16, 6}, 0.2, 87);
+
+  event::EventStream outputs[3];
+  hwsim::ActivityCounters counters[3];
+  std::uint64_t cycles[3];
+  int k = 0;
+  for (int mode = 0; mode < 3; ++mode) {
+    SneConfig hw = SneConfig::paper_design_point(2);
+    hw.fast_forward = mode > 0;
+    hw.drain_batching = mode > 1;
+    hw.slice_in_fifo_depth = 1;
+    hw.slice_out_fifo_depth = 2;
+    SneEngine engine(hw, 1u << 20);
+    const auto geom = ecnn::build_pipeline(engine, net, in.geometry().timesteps);
+    core::RunOptions opts;
+    opts.out_geometry = geom;
+    const auto r = engine.run(in, opts);
+    outputs[k] = r.output;
+    counters[k] = r.counters;
+    cycles[k] = r.cycles;
+    ++k;
+  }
+  ASSERT_GT(counters[0].output_events, 0u);
+  for (int m = 1; m < 3; ++m) {
+    EXPECT_EQ(cycles[0], cycles[m]) << "mode " << m;
+    EXPECT_TRUE(counters[0] == counters[m]) << "mode " << m
+        << " counters diverge:\nref:  " << counters[0] << "\nfast: " << counters[m];
+    EXPECT_TRUE(outputs[0] == outputs[m]) << "mode " << m;
+  }
+}
+
+TEST(DrainEquivalence, FullOutputRegion) {
+  // Output region sized down until the dense run overflows it: the drain
+  // replay must stop one word short and let the per-cycle path raise the
+  // same overflow, and near-full runs must stay bit-identical.
+  QuantizedLayerSpec l = conv_layer(1, 16, 2, 0, 73);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(std::max(1, std::abs(w)));
+  QuantizedNetwork net;
+  net.layers.push_back(l);
+  const auto in = data::random_stream({1, 16, 16, 4}, 0.3, 91);
+
+  // 8192-word memory -> 4096-word output region: fits (~2k spikes + markers).
+  SneConfig hw = SneConfig::paper_design_point(1);
+  expect_drain_equivalent(hw, net, in, 8192);
+
+  // 2048-word memory -> 1024-word region: overflows identically in every
+  // engine mode.
+  for (int mode = 0; mode < 3; ++mode) {
+    SneConfig ov = hw;
+    ov.fast_forward = mode > 0;
+    ov.drain_batching = mode > 1;
+    EXPECT_THROW(run_network_cfg(ov, net, in, 2048), ConfigError)
+        << "mode " << mode;
+  }
 }
 
 // --- BatchRunner ------------------------------------------------------------

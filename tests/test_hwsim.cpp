@@ -43,6 +43,62 @@ TEST(FifoTest, HighWaterAndCounts) {
   EXPECT_EQ(f.total_pops(), 1u);
 }
 
+TEST(FifoTest, BulkAccessMatchesScalarOps) {
+  // at()/pop_n/push_n are the drain replay's contiguous-span primitives;
+  // their accounting must match the equivalent scalar op sequences.
+  Fifo<int> f(4);
+  f.try_push(1);
+  f.try_push(2);
+  f.try_push(3);
+  f.pop();  // wrap the ring: head != 0
+  f.try_push(4);
+  f.try_push(5);
+  EXPECT_EQ(f.at(0), 2);  // at(0) == front()
+  EXPECT_EQ(f.at(1), 3);
+  EXPECT_EQ(f.at(3), 5);
+  f.pop_n(3);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.front(), 5);
+  EXPECT_EQ(f.total_pops(), 4u);  // 1 scalar + 3 bulk
+  const int more[] = {6, 7, 8};
+  f.push_n(more, 3);
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.total_pushes(), 8u);
+  EXPECT_EQ(f.high_water(), 4u);
+  for (int want : {5, 6, 7, 8}) EXPECT_EQ(f.pop(), want);
+}
+
+TEST(FifoTest, ReconcileBulkReplaysSpanStatistics) {
+  Fifo<int> f(4);
+  f.try_push(1);
+  f.try_push(2);
+  // A replayed span: 5 pushes, 4 pops, peak occupancy 4, survivors {9, 10}.
+  const int survivors[] = {9, 10};
+  f.reconcile_bulk(/*pushes=*/5, /*pops=*/4, /*peak=*/4, survivors, 2);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.at(0), 9);
+  EXPECT_EQ(f.at(1), 10);
+  EXPECT_EQ(f.total_pushes(), 7u);
+  EXPECT_EQ(f.total_pops(), 4u);
+  EXPECT_EQ(f.high_water(), 4u);
+}
+
+TEST(ArbiterTest, MaskedGrantMatchesPredicateGrant) {
+  // grant_masked must issue the identical grant sequence to grant() fed the
+  // same requesters, for every cursor position.
+  RoundRobinArbiter a(5);
+  RoundRobinArbiter b(5);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto mask =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 31));
+    const int ga = a.grant([mask](std::size_t k) { return mask >> k & 1; });
+    const int gb = b.grant_masked(mask);
+    ASSERT_EQ(ga, gb) << "step " << i << " mask " << mask;
+    ASSERT_EQ(a.cursor(), b.cursor());
+  }
+}
+
 TEST(ArbiterTest, RoundRobinIsFair) {
   RoundRobinArbiter arb(4);
   std::vector<int> grants;
