@@ -11,6 +11,7 @@
 #include "ecnn/mapper.h"
 #include "ecnn/runner.h"
 #include "event/event.h"
+#include "train/trainer.h"
 
 namespace {
 
@@ -209,6 +210,44 @@ void BM_BatchedDataset(benchmark::State& state) {
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BatchedDataset)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// One BPTT training epoch of the flat-tensor trainer on the Fig. 6-style
+// topology (paper_topology(2, 32, 32, 4, 6, 32), 24 gesture samples, T = 16).
+// Arg 0: neuron model (0 = SNE-LIF, 1 = SRM); arg 1: worker lanes
+// (TrainConfig::workers; 1 = sample-serial processing). Minibatch is
+// fixed at 4 for every worker count, so the trained weights are bitwise
+// identical across all /N variants (test_train_parallel pins this) — only
+// wall clock differs. Each iteration trains one epoch from a fresh seeded
+// init so per-iteration work stays constant.
+void BM_TrainerEpoch(benchmark::State& state) {
+  data::GestureConfig gcfg;
+  gcfg.classes = 4;
+  gcfg.samples_per_class = 6;
+  gcfg.timesteps = 16;
+  const data::Dataset ds = data::make_gesture_dataset(gcfg);
+  const ecnn::Network topo =
+      ecnn::Network::paper_topology(2, 32, 32, 4, /*features=*/6,
+                                    /*hidden=*/32);
+  train::TrainConfig cfg;
+  cfg.model = state.range(0) == 0 ? train::NeuronModel::kSneLif
+                                  : train::NeuronModel::kSrm;
+  cfg.epochs = 1;
+  cfg.minibatch = 4;
+  cfg.workers = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    train::Trainer trainer(topo, cfg);
+    const auto hist = trainer.fit(ds);
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(ds.samples.size()));
+  state.SetLabel(state.range(0) == 0 ? "model=sne-lif" : "model=srm");
+}
+BENCHMARK(BM_TrainerEpoch)
+    ->Args({0, 1})->Args({0, 2})->Args({0, 4})
+    ->Args({1, 1})->Args({1, 4})
+    ->UseRealTime()  // worker lanes shift work off the timing thread
     ->Unit(benchmark::kMillisecond);
 
 void BM_GestureGeneration(benchmark::State& state) {

@@ -16,7 +16,10 @@
 // energy from activity — is. Paper rows are printed for reference.
 //
 // Environment knobs: SNE_T1_EPOCHS (default 8), SNE_T1_SPC (samples per
-// class, default 10), SNE_T1_T (timesteps, default 30).
+// class, default 10), SNE_T1_T (timesteps, default 24), SNE_T1_MB (trainer
+// minibatch, default 1 = the serial trajectory bit for bit) and
+// SNE_T1_WORKERS (trainer worker lanes, default 0 = the process-wide pool;
+// any value produces identical bits for a fixed minibatch).
 #include <cstdlib>
 #include <iostream>
 
@@ -46,7 +49,8 @@ struct DatasetResult {
 
 DatasetResult run_protocol(const sne::data::Dataset& full, double train_frac,
                            double val_frac, std::uint16_t classes,
-                           std::uint32_t epochs) {
+                           std::uint32_t epochs, std::uint32_t minibatch,
+                           unsigned workers) {
   using namespace sne;
   const data::DatasetSplit split = full.split(train_frac, val_frac, 2022);
   const auto& g = full.geometry;
@@ -67,6 +71,8 @@ DatasetResult run_protocol(const sne::data::Dataset& full, double train_frac,
     cfg.epochs = epochs;
     cfg.lr = 4e-3;
     cfg.threshold = 1.0;
+    cfg.minibatch = minibatch;
+    cfg.workers = workers;
     train::Trainer trainer(topo, cfg);
     trainer.calibrate_thresholds(split.train);
     trainer.fit(split.train);
@@ -82,6 +88,8 @@ DatasetResult run_protocol(const sne::data::Dataset& full, double train_frac,
     cfg.lr = 4e-3;
     cfg.threshold = 1.0;
     cfg.leak = 0.08;
+    cfg.minibatch = minibatch;
+    cfg.workers = workers;
     train::Trainer trainer(topo, cfg);
     trainer.calibrate_thresholds(split.train);
     trainer.fit(split.train);
@@ -151,13 +159,19 @@ int main() {
   const std::uint32_t epochs = static_cast<std::uint32_t>(env_int("SNE_T1_EPOCHS", 8));
   const std::uint16_t spc = static_cast<std::uint16_t>(env_int("SNE_T1_SPC", 10));
   const std::uint16_t T = static_cast<std::uint16_t>(env_int("SNE_T1_T", 24));
+  const std::uint32_t mb = static_cast<std::uint32_t>(env_int("SNE_T1_MB", 1));
+  const unsigned workers =
+      static_cast<unsigned>(env_int("SNE_T1_WORKERS", 0));
 
   bench::print_header(
       "Table I", "eCNN accuracy, energy/inference, inference rate",
       "SRM (SLAYER substitute) vs SNE-LIF-4b on synthetic NMNIST and "
       "synthetic DVS-Gesture; paper split protocols (75/10/15 and 65/10/25)");
   std::cout << "config: epochs=" << epochs << " samples/class=" << spc
-            << " timesteps=" << T << " (env: SNE_T1_EPOCHS/SNE_T1_SPC/SNE_T1_T)\n";
+            << " timesteps=" << T << " minibatch=" << mb << " workers="
+            << workers
+            << " (env: SNE_T1_EPOCHS/SNE_T1_SPC/SNE_T1_T/SNE_T1_MB/"
+               "SNE_T1_WORKERS)\n";
 
   data::NmnistConfig ncfg;
   ncfg.samples_per_class = spc;
@@ -172,11 +186,13 @@ int main() {
   std::cout << "\n[1/2] synthetic NMNIST (" << nmnist.samples.size()
             << " samples, mean input activity "
             << AsciiTable::num(nmnist.mean_activity() * 100.0, 2) << "%)...\n";
-  const DatasetResult nm = run_protocol(nmnist, 0.75, 0.10, 10, epochs);
+  const DatasetResult nm =
+      run_protocol(nmnist, 0.75, 0.10, 10, epochs, mb, workers);
   std::cout << "[2/2] synthetic DVS-Gesture (" << gesture.samples.size()
             << " samples, mean input activity "
             << AsciiTable::num(gesture.mean_activity() * 100.0, 2) << "%)...\n";
-  const DatasetResult gs = run_protocol(gesture, 0.65, 0.10, 11, epochs);
+  const DatasetResult gs =
+      run_protocol(gesture, 0.65, 0.10, 11, epochs, mb, workers);
 
   AsciiTable table({"Data set", "SNN (SRM)", "eCNN (SNE-LIF-4b)",
                     "Inf. energy [uJ/inf]", "Inf. rate [inf/s]",

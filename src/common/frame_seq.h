@@ -1,0 +1,57 @@
+// Flat time-major [T x n] float sequence: the trainer-side hot-path buffer.
+//
+// The BPTT trainer records per-layer, per-timestep dense vectors (rasterized
+// inputs, pre-spike membrane, spikes, boundary gradients). The original
+// implementation stored each record as std::vector<std::vector<float>> and
+// re-allocated all of them for every sample; FrameSeq is the flattened
+// replacement: one contiguous allocation per logical [T][n] record, row t at
+// data() + t * width(). reshape() never shrinks the backing store, so a
+// FrameSeq owned by a reusable scratch slot allocates nothing after warm-up —
+// the training analogue of the engine-side `*_into` buffers from PR 1.
+//
+// FrameSeq carries no arithmetic of its own: layouts changed, float
+// operations did not, which is what keeps the flattened trainer bitwise
+// identical to the nested-vector trajectory.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace sne {
+
+/// Dense time-major sequence of T frames of n floats each, contiguous.
+class FrameSeq {
+ public:
+  FrameSeq() = default;
+  FrameSeq(std::size_t steps, std::size_t width) { reshape(steps, width); }
+
+  /// Sets the logical [steps x width] shape. Grows the backing store when
+  /// needed and never shrinks it (capacity is the point of reuse). Contents
+  /// are unspecified after a reshape; call zero() or overwrite every row.
+  void reshape(std::size_t steps, std::size_t width) {
+    steps_ = steps;
+    width_ = width;
+    if (buf_.size() < steps * width) buf_.resize(steps * width);
+  }
+
+  /// Zero-fills the logical extent (not the spare capacity).
+  void zero() { std::fill_n(buf_.data(), steps_ * width_, 0.0f); }
+
+  float* row(std::size_t t) { return buf_.data() + t * width_; }
+  const float* row(std::size_t t) const { return buf_.data() + t * width_; }
+
+  float* data() { return buf_.data(); }
+  const float* data() const { return buf_.data(); }
+
+  std::size_t steps() const { return steps_; }
+  std::size_t width() const { return width_; }
+  std::size_t size() const { return steps_ * width_; }
+
+ private:
+  std::size_t steps_ = 0;
+  std::size_t width_ = 0;
+  std::vector<float> buf_;
+};
+
+}  // namespace sne

@@ -5,9 +5,24 @@
 #include <numeric>
 
 #include "common/contracts.h"
+#include "common/frame_seq.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 
+// Implementation note on bit-exactness: every layout change in this file
+// (flat FrameSeq records, reusable scratch slots, split backward kernels,
+// sparsity skips) preserves the exact sequence of floating-point operations
+// applied to each individual element, so minibatch = 1 reproduces the
+// original nested-vector serial trajectory bit for bit, and no result
+// depends on the worker count. The two load-bearing arguments:
+//  * skipping a `acc += w * s` term when s == 0.0f is exact: accumulators
+//    start at +0.0, nonzero spike values are >= 1.0f (no underflow), and in
+//    round-to-nearest a sum of nonzero terms can only produce +0.0, so the
+//    skipped term would have added +/-0.0 to a non-negative-zero value — a
+//    bitwise no-op;
+//  * the split backward kernels partition outputs by weight row and inputs
+//    by input channel/index: each element is owned by exactly one task and
+//    receives its contributions in the same order as the fused serial loop.
 namespace sne::train {
 
 namespace {
@@ -36,109 +51,278 @@ double leak_gradient(double v, double leak) {
   return std::abs(v) > leak ? 1.0 : 0.0;
 }
 
-}  // namespace
+/// Neuron-model constants hoisted out of every per-neuron inner loop and
+/// shared between the recording (fit) and non-recording (inference/
+/// calibration) forward paths.
+struct NeuronConsts {
+  double a_s;         ///< SRM synaptic filter exp(-1/tau_s)
+  double a_m;         ///< SRM membrane filter exp(-1/tau_m)
+  double refr_decay;  ///< SRM refractory decay exp(-0.5), constant
+  double leak;        ///< LIF linear leak per step
 
-/// Per-layer forward records for one sample (time-major dense spikes).
-struct Trainer::LayerState {
-  std::size_t n_in = 0, n_out = 0;
-  // [T][n]: recorded values needed by the backward pass.
-  std::vector<std::vector<float>> drive;    ///< I[t] = op(W, S_in[t])
-  std::vector<std::vector<float>> v_pre;    ///< membrane before spike/reset
-  std::vector<std::vector<float>> spikes;   ///< binary outputs
-  std::vector<std::vector<float>> in_spikes;///< dense input (copy)
+  explicit NeuronConsts(const TrainConfig& cfg)
+      : a_s(std::exp(-1.0 / cfg.tau_s)),
+        a_m(std::exp(-1.0 / cfg.tau_m)),
+        refr_decay(std::exp(-0.5)),
+        leak(cfg.leak) {}
 };
 
-namespace {
+/// One timestep of the shared LIF/SRM neuron update over a row of n
+/// neurons: the single stepping body behind both the recording forward in
+/// fit() and the inference forward, so the two cannot drift. kRecord stores
+/// the pre-reset membrane for the backward pass.
+template <bool kRecord>
+void step_neuron_row(NeuronModel model, const NeuronConsts& nc, double th,
+                     const float* drive, std::size_t n, double* v, double* syn,
+                     double* refr, float* out, float* v_pre) {
+  if (model == NeuronModel::kSneLif) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vp = leak_toward_zero(v[i], nc.leak) + drive[i];
+      if constexpr (kRecord) v_pre[i] = static_cast<float>(vp);
+      const bool spike = vp > th;
+      out[i] = spike ? 1.0f : 0.0f;
+      v[i] = spike ? 0.0 : vp;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      syn[i] = nc.a_s * syn[i] + drive[i];
+      const double vp = nc.a_m * v[i] + syn[i] - refr[i];
+      refr[i] *= nc.refr_decay;
+      if constexpr (kRecord) v_pre[i] = static_cast<float>(vp);
+      const bool spike = vp > th;
+      out[i] = spike ? 1.0f : 0.0f;
+      if (spike) refr[i] += 2.0 * th;
+      v[i] = spike ? 0.0 : vp;
+    }
+  }
+}
 
-/// Applies a layer's linear operator to one timestep of input spikes.
-void forward_op(const LayerSpec& l, const std::vector<float>& s_in,
-                std::vector<float>& drive) {
-  drive.assign(l.out_flat(), 0.0f);
+/// OR-pooling activation: a spike anywhere in the window (drive > 0) fires.
+void or_pool_row(const float* drive, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = drive[i] > 0.0f ? 1.0f : 0.0f;
+}
+
+/// Ascending nonzero positions of one timestep row (the event-driven
+/// kernels below iterate these instead of scanning dense windows).
+void gather_nonzeros(const float* row, std::size_t n,
+                     std::vector<std::uint32_t>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    if (row[i] != 0.0f) out.push_back(static_cast<std::uint32_t>(i));
+}
+
+/// Reusable scratch for the event-driven linear operators: the double
+/// accumulator image, a transient nonzero list and the decomposed (channel,
+/// row, column) coordinates of the current nonzero set.
+struct OpScratch {
+  std::vector<double> acc;
+  std::vector<std::uint32_t> nz;
+  std::vector<std::uint16_t> dec_ic, dec_iy, dec_ix;
+
+  void ensure(std::size_t max_out, std::size_t max_in) {
+    if (acc.size() < max_out) acc.resize(max_out);
+    if (dec_ic.size() < max_in) {
+      dec_ic.resize(max_in);
+      dec_iy.resize(max_in);
+      dec_ix.resize(max_in);
+    }
+  }
+
+  /// Splits flat input indices into (ic, iy, ix) once per row, so the
+  /// per-output-channel scatter loops do no division.
+  void decompose(const std::uint32_t* idx, std::size_t nnz, std::uint16_t in_w,
+                 std::uint16_t in_h) {
+    const std::uint32_t plane = static_cast<std::uint32_t>(in_w) * in_h;
+    for (std::size_t j = 0; j < nnz; ++j) {
+      const std::uint32_t i = idx[j];
+      dec_ic[j] = static_cast<std::uint16_t>(i / plane);
+      const std::uint32_t rem = i % plane;
+      dec_iy[j] = static_cast<std::uint16_t>(rem / in_w);
+      dec_ix[j] = static_cast<std::uint16_t>(rem % in_w);
+    }
+  }
+};
+
+/// Applies a layer's linear operator to one timestep of input spikes,
+/// driven by the nonzero input list (idx/nnz, ascending).
+///
+/// Bit-exactness: for any fixed output element, its contributions arrive in
+/// ascending input order, which is exactly the order the original dense
+/// window gather accumulated them in (the window loops walk (ic, iy, ix)
+/// lexicographically), and the skipped zero terms are bitwise no-ops (see
+/// file comment). Conv/pool scatter into a zeroed double image and cast
+/// once at the end — same double accumulator, same final float rounding.
+void forward_op(const LayerSpec& l, const float* s_in,
+                const std::uint32_t* idx, std::size_t nnz, OpScratch& sc,
+                float* drive) {
+  const std::size_t n_out = l.out_flat();
   switch (l.type) {
     case LayerSpec::Type::kFc: {
       const std::size_t n_in = l.in_flat();
       parallel_for(0, l.out_ch, [&](std::size_t o) {
         double acc = 0.0;
         const float* w = l.weights.data() + o * n_in;
-        for (std::size_t i = 0; i < n_in; ++i) acc += w[i] * s_in[i];
+        for (std::size_t j = 0; j < nnz; ++j) {
+          const std::uint32_t i = idx[j];
+          acc += w[i] * s_in[i];
+        }
         drive[o] = static_cast<float>(acc);
       });
       return;
     }
     case LayerSpec::Type::kPool: {
-      // OR-pooling handled outside (no weights); drive = window sum.
       const std::uint16_t ow = l.out_w(), oh = l.out_h();
-      for (std::uint16_t c = 0; c < l.in_ch; ++c)
-        for (std::uint16_t oy = 0; oy < oh; ++oy)
-          for (std::uint16_t ox = 0; ox < ow; ++ox) {
-            double acc = 0.0;
-            for (std::uint16_t ky = 0; ky < l.kernel; ++ky)
-              for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
-                const std::uint16_t iy = oy * l.stride + ky;
-                const std::uint16_t ix = ox * l.stride + kx;
-                if (iy >= l.in_h || ix >= l.in_w) continue;
-                acc += s_in[flat_index(c, iy, ix, l.in_h, l.in_w)];
-              }
-            drive[flat_index(c, oy, ox, oh, ow)] = static_cast<float>(acc);
+      sc.ensure(n_out, nnz);
+      double* acc = sc.acc.data();
+      std::fill_n(acc, n_out, 0.0);
+      sc.decompose(idx, nnz, l.in_w, l.in_h);
+      for (std::size_t j = 0; j < nnz; ++j) {
+        const std::uint16_t c = sc.dec_ic[j], iy = sc.dec_iy[j],
+                            ix = sc.dec_ix[j];
+        const float s = s_in[idx[j]];
+        for (std::uint16_t ky = 0; ky < l.kernel; ++ky) {
+          const int ny = static_cast<int>(iy) - ky;
+          if (ny < 0 || ny % l.stride != 0) continue;
+          const int oy = ny / l.stride;
+          if (oy >= oh) continue;
+          for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+            const int nx = static_cast<int>(ix) - kx;
+            if (nx < 0 || nx % l.stride != 0) continue;
+            const int ox = nx / l.stride;
+            if (ox >= ow) continue;
+            acc[flat_index(c, static_cast<std::uint16_t>(oy),
+                           static_cast<std::uint16_t>(ox), oh, ow)] += s;
           }
+        }
+      }
+      for (std::size_t o = 0; o < n_out; ++o)
+        drive[o] = static_cast<float>(acc[o]);
       return;
     }
     case LayerSpec::Type::kConv: {
       const std::uint16_t ow = l.out_w(), oh = l.out_h();
+      sc.ensure(n_out, nnz);
+      double* acc = sc.acc.data();
+      std::fill_n(acc, n_out, 0.0);
+      sc.decompose(idx, nnz, l.in_w, l.in_h);
+      const std::size_t plane = static_cast<std::size_t>(ow) * oh;
+      const std::size_t ksq = static_cast<std::size_t>(l.kernel) * l.kernel;
       parallel_for(0, l.out_ch, [&](std::size_t oc) {
-        for (std::uint16_t oy = 0; oy < oh; ++oy)
-          for (std::uint16_t ox = 0; ox < ow; ++ox) {
-            double acc = 0.0;
-            for (std::uint16_t ic = 0; ic < l.in_ch; ++ic)
-              for (std::uint16_t ky = 0; ky < l.kernel; ++ky) {
-                const int iy = static_cast<int>(oy) * l.stride - l.pad + ky;
-                if (iy < 0 || iy >= l.in_h) continue;
-                for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
-                  const int ix = static_cast<int>(ox) * l.stride - l.pad + kx;
-                  if (ix < 0 || ix >= l.in_w) continue;
-                  const float w =
-                      l.weights[((oc * l.in_ch + ic) * l.kernel + ky) *
-                                    l.kernel +
-                                kx];
-                  acc += w * s_in[flat_index(ic, static_cast<std::uint16_t>(iy),
-                                             static_cast<std::uint16_t>(ix),
-                                             l.in_h, l.in_w)];
-                }
-              }
-            drive[flat_index(static_cast<std::uint16_t>(oc), oy, ox, oh, ow)] =
-                static_cast<float>(acc);
+        double* acc_oc = acc + oc * plane;
+        for (std::size_t j = 0; j < nnz; ++j) {
+          const std::uint16_t ic = sc.dec_ic[j], iy = sc.dec_iy[j],
+                              ix = sc.dec_ix[j];
+          const float s = s_in[idx[j]];
+          const float* w = l.weights.data() + (oc * l.in_ch + ic) * ksq;
+          for (std::uint16_t ky = 0; ky < l.kernel; ++ky) {
+            const int ny = static_cast<int>(iy) + l.pad - ky;
+            if (ny < 0 || ny % l.stride != 0) continue;
+            const int oy = ny / l.stride;
+            if (oy >= oh) continue;
+            for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+              const int nx = static_cast<int>(ix) + l.pad - kx;
+              if (nx < 0 || nx % l.stride != 0) continue;
+              const int ox = nx / l.stride;
+              if (ox >= ow) continue;
+              acc_oc[static_cast<std::size_t>(oy) * ow + ox] +=
+                  w[ky * l.kernel + kx] * s;
+            }
           }
+        }
       });
+      for (std::size_t o = 0; o < n_out; ++o)
+        drive[o] = static_cast<float>(acc[o]);
       return;
     }
   }
 }
 
-/// Transpose of forward_op: scatters output-side gradient to the input side
-/// and accumulates weight gradients.
-void backward_op(const LayerSpec& l, const std::vector<float>& s_in,
-                 const std::vector<float>& g_drive, std::vector<float>& g_in,
-                 std::vector<float>& g_w) {
+/// Weight-gradient half of the backward operator, input-driven: for every
+/// nonzero input spike, walk the (few) outputs its weight taps touch.
+/// Accumulation is disjoint per output row/channel (parallel-safe) and, for
+/// any fixed weight, contributions arrive in ascending (oy, ox) order —
+/// the order of the original output-stationary loop.
+void backward_op_gw(const LayerSpec& l, const float* s_in,
+                    const std::uint32_t* idx, std::size_t nnz, OpScratch& sc,
+                    const float* g_drive, float* g_w) {
   switch (l.type) {
     case LayerSpec::Type::kFc: {
       const std::size_t n_in = l.in_flat();
-      for (std::size_t o = 0; o < l.out_ch; ++o) {
+      parallel_for(0, l.out_ch, [&](std::size_t o) {
         const float g = g_drive[o];
-        if (g == 0.0f) continue;
-        const float* w = l.weights.data() + o * n_in;
-        float* gw = g_w.data() + o * n_in;
-        for (std::size_t i = 0; i < n_in; ++i) {
+        if (g == 0.0f) return;
+        float* gw = g_w + o * n_in;
+        for (std::size_t j = 0; j < nnz; ++j) {
+          const std::uint32_t i = idx[j];
           gw[i] += g * s_in[i];
-          g_in[i] += g * w[i];
         }
-      }
+      });
+      return;
+    }
+    case LayerSpec::Type::kConv: {
+      const std::uint16_t ow = l.out_w(), oh = l.out_h();
+      sc.ensure(0, nnz);
+      sc.decompose(idx, nnz, l.in_w, l.in_h);
+      const std::size_t ksq = static_cast<std::size_t>(l.kernel) * l.kernel;
+      parallel_for(0, l.out_ch, [&](std::size_t oc) {
+        const float* g_oc =
+            g_drive + oc * static_cast<std::size_t>(ow) * oh;
+        float* gw_oc = g_w + oc * l.in_ch * ksq;
+        for (std::size_t j = 0; j < nnz; ++j) {
+          const std::uint16_t ic = sc.dec_ic[j], iy = sc.dec_iy[j],
+                              ix = sc.dec_ix[j];
+          const float s = s_in[idx[j]];
+          float* gw = gw_oc + ic * ksq;
+          for (std::uint16_t ky = 0; ky < l.kernel; ++ky) {
+            const int ny = static_cast<int>(iy) + l.pad - ky;
+            if (ny < 0 || ny % l.stride != 0) continue;
+            const int oy = ny / l.stride;
+            if (oy >= oh) continue;
+            for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+              const int nx = static_cast<int>(ix) + l.pad - kx;
+              if (nx < 0 || nx % l.stride != 0) continue;
+              const int ox = nx / l.stride;
+              if (ox >= ow) continue;
+              const float g = g_oc[static_cast<std::size_t>(oy) * ow + ox];
+              if (g == 0.0f) continue;
+              gw[ky * l.kernel + kx] += g * s;
+            }
+          }
+        }
+      });
+      return;
+    }
+    case LayerSpec::Type::kPool:
+      return;  // no weights
+  }
+}
+
+/// Input-gradient half of the backward operator (the one dense pass left:
+/// the surrogate makes g_drive dense, so there is no sparsity to ride).
+/// The scatter is partitioned so every g_in element is owned by exactly one
+/// task (fc: by input index; conv: by (input channel, input row); pool: by
+/// input channel) and receives its contributions in the same order as the
+/// original fused loop — bitwise identical for any worker count.
+void backward_op_gin(const LayerSpec& l, const float* g_drive, float* g_in) {
+  switch (l.type) {
+    case LayerSpec::Type::kFc: {
+      const std::size_t n_in = l.in_flat();
+      parallel_for(0, n_in, [&](std::size_t i) {
+        float gi = g_in[i];
+        const float* w = l.weights.data();
+        for (std::size_t o = 0; o < l.out_ch; ++o) {
+          const float g = g_drive[o];
+          if (g == 0.0f) continue;
+          gi += g * w[o * n_in + i];
+        }
+        g_in[i] = gi;
+      });
       return;
     }
     case LayerSpec::Type::kPool: {
-      // Straight-through: every input position of the window receives the
-      // output gradient.
       const std::uint16_t ow = l.out_w(), oh = l.out_h();
-      for (std::uint16_t c = 0; c < l.in_ch; ++c)
+      parallel_for(0, l.in_ch, [&](std::size_t ci) {
+        const std::uint16_t c = static_cast<std::uint16_t>(ci);
         for (std::uint16_t oy = 0; oy < oh; ++oy)
           for (std::uint16_t ox = 0; ox < ow; ++ox) {
             const float g = g_drive[flat_index(c, oy, ox, oh, ow)];
@@ -151,61 +335,351 @@ void backward_op(const LayerSpec& l, const std::vector<float>& s_in,
                 g_in[flat_index(c, iy, ix, l.in_h, l.in_w)] += g;
               }
           }
+      });
       return;
     }
     case LayerSpec::Type::kConv: {
       const std::uint16_t ow = l.out_w(), oh = l.out_h();
-      for (std::uint16_t oc = 0; oc < l.out_ch; ++oc)
-        for (std::uint16_t oy = 0; oy < oh; ++oy)
-          for (std::uint16_t ox = 0; ox < ow; ++ox) {
-            const float g = g_drive[flat_index(oc, oy, ox, oh, ow)];
-            if (g == 0.0f) continue;
-            for (std::uint16_t ic = 0; ic < l.in_ch; ++ic)
-              for (std::uint16_t ky = 0; ky < l.kernel; ++ky) {
-                const int iy = static_cast<int>(oy) * l.stride - l.pad + ky;
-                if (iy < 0 || iy >= l.in_h) continue;
-                for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
-                  const int ix = static_cast<int>(ox) * l.stride - l.pad + kx;
-                  if (ix < 0 || ix >= l.in_w) continue;
-                  const std::size_t widx =
-                      ((static_cast<std::size_t>(oc) * l.in_ch + ic) * l.kernel +
-                       ky) *
-                          l.kernel +
-                      kx;
-                  const std::size_t iidx =
-                      flat_index(ic, static_cast<std::uint16_t>(iy),
-                                 static_cast<std::uint16_t>(ix), l.in_h, l.in_w);
-                  g_w[widx] += g * s_in[iidx];
-                  g_in[iidx] += g * l.weights[widx];
-                }
+      const std::size_t ksq = static_cast<std::size_t>(l.kernel) * l.kernel;
+      // One task per (input channel, input row): fine enough to engage the
+      // pool on realistic conv shapes while keeping per-element ownership.
+      parallel_for(0, static_cast<std::size_t>(l.in_ch) * l.in_h,
+                   [&](std::size_t task) {
+        const std::uint16_t ic = static_cast<std::uint16_t>(task / l.in_h);
+        const std::uint16_t iy = static_cast<std::uint16_t>(task % l.in_h);
+        float* gin_row = g_in + flat_index(ic, iy, 0, l.in_h, l.in_w);
+        for (std::uint16_t oc = 0; oc < l.out_ch; ++oc) {
+          const float* g_oc =
+              g_drive + static_cast<std::size_t>(oc) * ow * oh;
+          const float* w_base =
+              l.weights.data() + (static_cast<std::size_t>(oc) * l.in_ch + ic) * ksq;
+          for (std::uint16_t oy = 0; oy < oh; ++oy) {
+            const int ky = static_cast<int>(iy) + l.pad -
+                           static_cast<int>(oy) * l.stride;
+            if (ky < 0 || ky >= l.kernel) continue;
+            const float* g_row = g_oc + static_cast<std::size_t>(oy) * ow;
+            const float* w_row = w_base + static_cast<std::size_t>(ky) * l.kernel;
+            for (std::uint16_t ox = 0; ox < ow; ++ox) {
+              const float g = g_row[ox];
+              if (g == 0.0f) continue;
+              for (std::uint16_t kx = 0; kx < l.kernel; ++kx) {
+                const int ix = static_cast<int>(ox) * l.stride - l.pad + kx;
+                if (ix < 0 || ix >= l.in_w) continue;
+                gin_row[ix] += g * w_row[kx];
               }
+            }
           }
+        }
+      });
       return;
     }
   }
 }
 
-/// Rasterizes an event stream into dense per-timestep spike vectors
+/// Rasterizes an event stream into a dense time-major spike buffer
 /// (duplicate events accumulate, matching per-event integration downstream).
-std::vector<std::vector<float>> rasterize(const event::EventStream& s) {
+void rasterize(const event::EventStream& s, FrameSeq& dense) {
   const auto& g = s.geometry();
-  std::vector<std::vector<float>> dense(
-      g.timesteps,
-      std::vector<float>(static_cast<std::size_t>(g.channels) * g.width * g.height,
-                         0.0f));
+  dense.reshape(g.timesteps,
+                static_cast<std::size_t>(g.channels) * g.width * g.height);
+  dense.zero();
   for (const event::Event& e : s.events()) {
     if (e.op != event::Op::kUpdate) continue;
-    dense[e.t][flat_index(e.ch, e.y, e.x, g.height, g.width)] += 1.0f;
+    dense.row(e.t)[flat_index(e.ch, e.y, e.x, g.height, g.width)] += 1.0f;
   }
-  return dense;
+}
+
+/// Reusable neuron-state scratch for the non-recording forward.
+struct DenseScratch {
+  std::vector<double> v, syn, refr;
+  std::vector<float> drive;
+  OpScratch op;
+
+  void prepare(std::size_t n) {
+    v.assign(n, 0.0);
+    syn.assign(n, 0.0);
+    refr.assign(n, 0.0);
+    if (drive.size() < n) drive.resize(n);
+  }
+};
+
+/// Pure dense forward of one layer (no recording): shared by inference,
+/// evaluation and threshold calibration. `threshold_override` < 0 uses the
+/// layer's own threshold.
+void forward_layer_dense(const LayerSpec& l, NeuronModel model,
+                         const NeuronConsts& nc, const FrameSeq& in,
+                         FrameSeq& out, DenseScratch& sc,
+                         double threshold_override = -1.0) {
+  const std::size_t T = in.steps();
+  const std::size_t n = l.out_flat();
+  const double th = threshold_override >= 0.0
+                        ? threshold_override
+                        : static_cast<double>(l.threshold);
+  out.reshape(T, n);
+  sc.prepare(n);
+  for (std::size_t t = 0; t < T; ++t) {
+    gather_nonzeros(in.row(t), l.in_flat(), sc.op.nz);
+    forward_op(l, in.row(t), sc.op.nz.data(), sc.op.nz.size(), sc.op,
+               sc.drive.data());
+    if (l.type == LayerSpec::Type::kPool) {
+      or_pool_row(sc.drive.data(), n, out.row(t));
+    } else {
+      step_neuron_row<false>(model, nc, th, sc.drive.data(), n, sc.v.data(),
+                             sc.syn.data(), sc.refr.data(), out.row(t),
+                             nullptr);
+    }
+  }
+}
+
+double spike_rate(const FrameSeq& spikes) {
+  if (spikes.size() == 0) return 0.0;
+  double acc = 0.0;
+  const float* p = spikes.data();
+  for (std::size_t i = 0; i < spikes.size(); ++i) acc += p[i];
+  return acc / static_cast<double>(spikes.size());
+}
+
+/// Per-thread inference scratch (rasterized input + layer ping-pong +
+/// neuron state), reused across samples so parallel evaluate/calibrate
+/// sweeps allocate nothing after warm-up. Every buffer is fully rewritten
+/// per sample, so reuse cannot leak state between samples.
+struct EvalScratch {
+  FrameSeq a, b;
+  DenseScratch ds;
+  std::vector<double> counts;
+};
+
+EvalScratch& eval_scratch() {
+  static thread_local EvalScratch sc;
+  return sc;
+}
+
+/// Dense forward of the whole network into per-class output spike counts.
+void forward_network_counts(const ecnn::Network& net, NeuronModel model,
+                            const NeuronConsts& nc,
+                            const event::EventStream& stream, double* counts,
+                            std::size_t classes, EvalScratch& sc) {
+  rasterize(stream, sc.a);
+  FrameSeq* cur = &sc.a;
+  FrameSeq* nxt = &sc.b;
+  for (const LayerSpec& l : net.layers) {
+    forward_layer_dense(l, model, nc, *cur, *nxt, sc.ds);
+    std::swap(cur, nxt);
+  }
+  std::fill_n(counts, classes, 0.0);
+  for (std::size_t t = 0; t < cur->steps(); ++t)
+    for (std::size_t k = 0; k < classes; ++k) counts[k] += cur->row(t)[k];
 }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Per-minibatch-sample scratch arena: all forward records, boundary
+// gradients and per-sample weight gradients for one sample, flat and
+// reusable. One slot per minibatch position; a slot is touched by exactly
+// one pool task per minibatch, and the reductions over slots run serially
+// in slot (== sample) order afterwards.
+struct Trainer::FitSlot {
+  struct LayerRec {
+    std::size_t n_in = 0, n_out = 0;
+    bool is_pool = false;
+    const FrameSeq* in = nullptr;  ///< producer's spikes (or the raster input)
+    FrameSeq v_pre;                ///< membrane before spike/reset (non-pool)
+    FrameSeq spikes;               ///< binary outputs
+    FrameSeq g_in;                 ///< dL/d(input spikes) of this layer
+    std::vector<float> g_w;        ///< per-sample weight gradient (non-pool)
+    // CSR cache of the input rows' nonzero positions, built once during the
+    // forward pass and re-walked by the input-driven weight-gradient pass.
+    std::vector<std::uint32_t> nz;
+    std::vector<std::size_t> nz_off;  ///< T + 1 offsets into nz
+  };
+
+  FrameSeq input;                ///< rasterized sample
+  std::vector<LayerRec> layers;
+  FrameSeq g_top;                ///< dL/d(output spikes) of the last layer
+  OpScratch op;
+  // Row-sized scratch (width = max layer fan-out).
+  std::vector<float> drive, g_drive;
+  std::vector<double> v, syn, refr, g_v_post, g_syn;
+  // Loss scratch and per-sample results, reduced in slot order.
+  std::vector<double> counts, p;
+  std::vector<float> g_count;
+  double loss = 0.0;
+  bool correct = false;
+
+  void prepare(const ecnn::Network& net, std::size_t T, std::size_t classes) {
+    layers.resize(net.layers.size());
+    std::size_t max_out = 0;
+    for (std::size_t li = 0; li < net.layers.size(); ++li) {
+      const LayerSpec& l = net.layers[li];
+      LayerRec& r = layers[li];
+      r.n_in = l.in_flat();
+      r.n_out = l.out_flat();
+      r.is_pool = l.type == LayerSpec::Type::kPool;
+      r.spikes.reshape(T, r.n_out);
+      r.g_in.reshape(T, r.n_in);
+      if (!r.is_pool) {
+        r.v_pre.reshape(T, r.n_out);
+        r.g_w.resize(l.weights.size());
+      }
+      max_out = std::max(max_out, r.n_out);
+    }
+    // Producer links (re-established every prepare: resize may relocate).
+    for (std::size_t li = 0; li < layers.size(); ++li)
+      layers[li].in = li == 0 ? &input : &layers[li - 1].spikes;
+    g_top.reshape(T, classes);
+    if (drive.size() < max_out) drive.resize(max_out);
+    if (g_drive.size() < max_out) g_drive.resize(max_out);
+    if (v.size() < max_out) {
+      v.resize(max_out);
+      syn.resize(max_out);
+      refr.resize(max_out);
+      g_v_post.resize(max_out);
+      g_syn.resize(max_out);
+    }
+    counts.resize(classes);
+    p.resize(classes);
+    g_count.resize(classes);
+  }
+
+  /// Forward + loss + backward for one sample. Weights are read-only here;
+  /// the optimizer step happens after the whole minibatch reduces.
+  void process(const ecnn::Network& net, const TrainConfig& cfg,
+               const NeuronConsts& nc, std::size_t classes,
+               const data::Sample& sample) {
+    rasterize(sample.stream, input);
+    const std::size_t T = input.steps();
+
+    // ---------------- forward, recording everything ----------------
+    for (std::size_t li = 0; li < net.layers.size(); ++li) {
+      const LayerSpec& l = net.layers[li];
+      LayerRec& r = layers[li];
+      // Input nonzeros, cached for the backward weight-gradient pass.
+      r.nz.clear();
+      r.nz_off.resize(T + 1);
+      r.nz_off[0] = 0;
+      for (std::size_t t = 0; t < T; ++t) {
+        const float* row = r.in->row(t);
+        for (std::size_t i = 0; i < r.n_in; ++i)
+          if (row[i] != 0.0f) r.nz.push_back(static_cast<std::uint32_t>(i));
+        r.nz_off[t + 1] = r.nz.size();
+      }
+      if (r.is_pool) {
+        for (std::size_t t = 0; t < T; ++t) {
+          forward_op(l, r.in->row(t), r.nz.data() + r.nz_off[t],
+                     r.nz_off[t + 1] - r.nz_off[t], op, drive.data());
+          or_pool_row(drive.data(), r.n_out, r.spikes.row(t));
+        }
+        continue;
+      }
+      std::fill_n(v.data(), r.n_out, 0.0);
+      std::fill_n(syn.data(), r.n_out, 0.0);
+      std::fill_n(refr.data(), r.n_out, 0.0);
+      const double th = static_cast<double>(l.threshold);
+      for (std::size_t t = 0; t < T; ++t) {
+        forward_op(l, r.in->row(t), r.nz.data() + r.nz_off[t],
+                   r.nz_off[t + 1] - r.nz_off[t], op, drive.data());
+        step_neuron_row<true>(cfg.model, nc, th, drive.data(), r.n_out,
+                              v.data(), syn.data(), refr.data(),
+                              r.spikes.row(t), r.v_pre.row(t));
+      }
+    }
+
+    // ---------------- loss on output spike counts ----------------
+    const FrameSeq& out_spikes = layers.back().spikes;
+    const double count_scale = cfg.logit_scale;
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (std::size_t t = 0; t < T; ++t)
+      for (std::size_t k = 0; k < classes; ++k)
+        counts[k] += out_spikes.row(t)[k];
+    const double max_logit =
+        *std::max_element(counts.begin(), counts.end()) * count_scale;
+    double z = 0.0;
+    for (std::size_t k = 0; k < classes; ++k) {
+      p[k] = std::exp(counts[k] * count_scale - max_logit);
+      z += p[k];
+    }
+    for (auto& pk : p) pk /= z;
+    loss = -std::log(std::max(p[sample.label], 1e-12));
+    const std::size_t pred = static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    correct = pred == sample.label;
+
+    // dL/dS_out[k][t] is constant over t.
+    for (std::size_t k = 0; k < classes; ++k)
+      g_count[k] = static_cast<float>(
+          (p[k] - (k == sample.label ? 1.0 : 0.0)) * count_scale);
+    for (std::size_t t = 0; t < T; ++t)
+      std::copy(g_count.begin(), g_count.end(), g_top.row(t));
+
+    // ---------------- backward through layers and time ----------------
+    for (std::size_t li = net.layers.size(); li-- > 0;) {
+      const LayerSpec& l = net.layers[li];
+      LayerRec& r = layers[li];
+      // dL/d(output spike) of this layer: consumer's input gradient.
+      const FrameSeq& g_out =
+          li + 1 < layers.size() ? layers[li + 1].g_in : g_top;
+      // The first layer's input gradient has no consumer; skip the scatter.
+      const bool need_gin = li > 0;
+      if (need_gin) r.g_in.zero();
+
+      if (r.is_pool) {
+        if (need_gin)
+          for (std::size_t t = 0; t < T; ++t)
+            backward_op_gin(l, g_out.row(t), r.g_in.row(t));
+        continue;
+      }
+
+      std::fill(r.g_w.begin(), r.g_w.end(), 0.0f);
+      std::fill_n(g_v_post.data(), r.n_out, 0.0);  // dL/dV[t] (post-reset)
+      std::fill_n(g_syn.data(), r.n_out, 0.0);     // SRM: dL/di[t]
+      const double th = static_cast<double>(l.threshold);
+
+      for (std::size_t t = T; t-- > 0;) {
+        const float* vpre = r.v_pre.row(t);
+        const float* spk = r.spikes.row(t);
+        const float* go = g_out.row(t);
+        if (cfg.model == NeuronModel::kSneLif) {
+          for (std::size_t i = 0; i < r.n_out; ++i) {
+            const double vp = vpre[i];
+            // dL/dVp[t]: surrogate spike path + state path (reset detached).
+            const double g_vp =
+                static_cast<double>(go[i]) *
+                    surrogate(vp, th, cfg.surrogate_width) +
+                (spk[i] > 0.5f ? 0.0 : g_v_post[i]);
+            g_drive[i] = static_cast<float>(g_vp);
+            // V[t-1] feeds Vp[t] through the leak.
+            g_v_post[i] = g_vp * leak_gradient(vp, nc.leak);
+          }
+        } else {
+          for (std::size_t i = 0; i < r.n_out; ++i) {
+            const double vp = vpre[i];
+            const double g_vp =
+                static_cast<double>(go[i]) *
+                    surrogate(vp, th, cfg.surrogate_width) +
+                (spk[i] > 0.5f ? 0.0 : g_v_post[i]);
+            // Vp[t] = a_m V[t-1] + i[t] - r; i[t] = a_s i[t-1] + I[t].
+            const double gi = g_vp + g_syn[i];
+            g_drive[i] = static_cast<float>(gi);
+            g_syn[i] = gi * nc.a_s;
+            g_v_post[i] = g_vp * nc.a_m;
+          }
+        }
+        backward_op_gw(l, r.in->row(t), r.nz.data() + r.nz_off[t],
+                       r.nz_off[t + 1] - r.nz_off[t], op, g_drive.data(),
+                       r.g_w.data());
+        if (need_gin) backward_op_gin(l, g_drive.data(), r.g_in.row(t));
+      }
+    }
+  }
+};
+
 Trainer::Trainer(ecnn::Network net, TrainConfig cfg)
     : net_(std::move(net)), cfg_(cfg) {
   net_.validate();
-  SNE_EXPECTS(cfg_.epochs >= 1 && cfg_.lr > 0.0);
+  SNE_EXPECTS(cfg_.epochs >= 1 && cfg_.lr > 0.0 && cfg_.minibatch >= 1);
+  if (cfg_.workers >= 2)
+    pool_ = std::make_unique<ThreadPool>(cfg_.workers - 1);
   Rng rng(cfg_.seed);
   adam_m_.resize(net_.layers.size());
   adam_v_.resize(net_.layers.size());
@@ -226,58 +700,9 @@ Trainer::Trainer(ecnn::Network net, TrainConfig cfg)
   }
 }
 
-namespace {
-
-/// Pure dense forward of one layer (no recording): shared by inference,
-/// evaluation and threshold calibration. `threshold_override` < 0 uses the
-/// layer's own threshold.
-std::vector<std::vector<float>> forward_layer_dense(
-    const LayerSpec& l, NeuronModel model, const TrainConfig& cfg,
-    const std::vector<std::vector<float>>& in, double threshold_override = -1.0) {
-  const std::size_t T = in.size();
-  const double th = threshold_override >= 0.0 ? threshold_override
-                                              : static_cast<double>(l.threshold);
-  const double a_s = std::exp(-1.0 / cfg.tau_s);
-  const double a_m = std::exp(-1.0 / cfg.tau_m);
-  std::vector<std::vector<float>> out(T);
-  std::vector<double> v(l.out_flat(), 0.0), syn(l.out_flat(), 0.0),
-      refr(l.out_flat(), 0.0);
-  std::vector<float> drive;
-  for (std::size_t t = 0; t < T; ++t) {
-    forward_op(l, in[t], drive);
-    out[t].assign(l.out_flat(), 0.0f);
-    for (std::size_t i = 0; i < l.out_flat(); ++i) {
-      if (l.type == LayerSpec::Type::kPool) {
-        out[t][i] = drive[i] > 0.0f ? 1.0f : 0.0f;  // OR-pooling
-        continue;
-      }
-      double vp;
-      if (model == NeuronModel::kSneLif) {
-        vp = leak_toward_zero(v[i], cfg.leak) + drive[i];
-      } else {
-        syn[i] = a_s * syn[i] + drive[i];
-        vp = a_m * v[i] + syn[i] - refr[i];
-        refr[i] *= std::exp(-1.0 / 2.0);
-      }
-      const bool spike = vp > th;
-      out[t][i] = spike ? 1.0f : 0.0f;
-      if (spike && model == NeuronModel::kSrm) refr[i] += 2.0 * th;
-      v[i] = spike ? 0.0 : vp;
-    }
-  }
-  return out;
-}
-
-double spike_rate(const std::vector<std::vector<float>>& spikes) {
-  if (spikes.empty() || spikes[0].empty()) return 0.0;
-  double acc = 0.0;
-  for (const auto& step : spikes)
-    for (float s : step) acc += s;
-  return acc / (static_cast<double>(spikes.size()) *
-                static_cast<double>(spikes[0].size()));
-}
-
-}  // namespace
+Trainer::~Trainer() = default;
+Trainer::Trainer(Trainer&&) noexcept = default;
+Trainer& Trainer::operator=(Trainer&&) noexcept = default;
 
 void Trainer::calibrate_thresholds(const data::Dataset& calib,
                                    double target_gain,
@@ -285,29 +710,40 @@ void Trainer::calibrate_thresholds(const data::Dataset& calib,
   SNE_EXPECTS(!calib.samples.empty() && target_gain > 0.0);
   const std::size_t n =
       std::min<std::size_t>(max_samples, calib.samples.size());
-  std::vector<std::vector<std::vector<float>>> inputs;
-  inputs.reserve(n);
+  const NeuronConsts nc(cfg_);
+  std::vector<FrameSeq> cur(n), nxt(n);
   for (std::size_t i = 0; i < n; ++i)
-    inputs.push_back(rasterize(calib.samples[i].stream));
+    rasterize(calib.samples[i].stream, cur[i]);
+  std::vector<double> rates(n);
 
   const double kRateFloor = cfg_.rate_floor;  // no layer starts dead
   for (LayerSpec& l : net_.layers) {
     if (l.type == LayerSpec::Type::kPool) {
-      for (auto& in : inputs)
-        in = forward_layer_dense(l, cfg_.model, cfg_, in);
+      parallel_samples(n, [&](std::size_t k) {
+        forward_layer_dense(l, cfg_.model, nc, cur[k], nxt[k],
+                            eval_scratch().ds);
+      });
+      std::swap(cur, nxt);
       continue;
     }
+    parallel_samples(n, [&](std::size_t k) { rates[k] = spike_rate(cur[k]); });
     double in_rate = 0.0;
-    for (const auto& in : inputs) in_rate += spike_rate(in);
+    for (std::size_t k = 0; k < n; ++k) in_rate += rates[k];
     in_rate /= static_cast<double>(n);
     const double target = std::max(in_rate * target_gain, kRateFloor);
 
     double lo = 1e-3, hi = 30.0;
     for (int iter = 0; iter < 22; ++iter) {
       const double mid = 0.5 * (lo + hi);
+      // Per-sample sweeps fan out over the pool; the mean reduces in
+      // sample order (bitwise equal to the serial sweep).
+      parallel_samples(n, [&](std::size_t k) {
+        forward_layer_dense(l, cfg_.model, nc, cur[k], nxt[k],
+                            eval_scratch().ds, mid);
+        rates[k] = spike_rate(nxt[k]);
+      });
       double out_rate = 0.0;
-      for (const auto& in : inputs)
-        out_rate += spike_rate(forward_layer_dense(l, cfg_.model, cfg_, in, mid));
+      for (std::size_t k = 0; k < n; ++k) out_rate += rates[k];
       out_rate /= static_cast<double>(n);
       if (out_rate > target)
         lo = mid;  // too active -> raise threshold
@@ -315,43 +751,58 @@ void Trainer::calibrate_thresholds(const data::Dataset& calib,
         hi = mid;
     }
     l.threshold = static_cast<float>(0.5 * (lo + hi));
-    for (auto& in : inputs)
-      in = forward_layer_dense(l, cfg_.model, cfg_, in);
+    parallel_samples(n, [&](std::size_t k) {
+      forward_layer_dense(l, cfg_.model, nc, cur[k], nxt[k],
+                          eval_scratch().ds);
+    });
+    std::swap(cur, nxt);
   }
 }
 
 std::vector<double> Trainer::forward_counts(
     const event::EventStream& stream) const {
-  const std::uint16_t T = stream.geometry().timesteps;
-  std::vector<std::vector<float>> spikes = rasterize(stream);
-  for (const LayerSpec& l : net_.layers)
-    spikes = forward_layer_dense(l, cfg_.model, cfg_, spikes);
-
+  const NeuronConsts nc(cfg_);
   std::vector<double> counts(net_.layers.back().out_ch, 0.0);
-  for (std::uint16_t t = 0; t < T; ++t)
-    for (std::size_t k = 0; k < counts.size(); ++k) counts[k] += spikes[t][k];
+  forward_network_counts(net_, cfg_.model, nc, stream, counts.data(),
+                         counts.size(), eval_scratch());
   return counts;
 }
 
 double Trainer::evaluate(const data::Dataset& ds) const {
   if (ds.samples.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (const data::Sample& s : ds.samples) {
-    const std::vector<double> counts = forward_counts(s.stream);
+  const NeuronConsts nc(cfg_);
+  const std::size_t classes = net_.layers.back().out_ch;
+  std::vector<std::uint8_t> hit(ds.samples.size(), 0);
+  parallel_samples(ds.samples.size(), [&](std::size_t k) {
+    const data::Sample& s = ds.samples[k];
+    EvalScratch& sc = eval_scratch();
+    sc.counts.assign(classes, 0.0);
+    forward_network_counts(net_, cfg_.model, nc, s.stream, sc.counts.data(),
+                           classes, sc);
     const std::size_t pred = static_cast<std::size_t>(
-        std::max_element(counts.begin(), counts.end()) - counts.begin());
-    if (pred == s.label) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(ds.samples.size());
+        std::max_element(sc.counts.begin(), sc.counts.end()) -
+        sc.counts.begin());
+    hit[k] = pred == s.label ? 1 : 0;
+  });
+  std::size_t correct = 0;
+  for (std::size_t k = 0; k < hit.size(); ++k) correct += hit[k];
+  return static_cast<double>(correct) /
+         static_cast<double>(ds.samples.size());
 }
 
 std::vector<EpochStats> Trainer::fit(const data::Dataset& train) {
   SNE_EXPECTS(!train.samples.empty());
   const std::uint16_t T = train.geometry.timesteps;
   const std::size_t classes = net_.layers.back().out_ch;
-  const double a_s = std::exp(-1.0 / cfg_.tau_s);
-  const double a_m = std::exp(-1.0 / cfg_.tau_m);
-  const double count_scale = cfg_.logit_scale;
+  const NeuronConsts nc(cfg_);
+  const std::size_t B =
+      std::min<std::size_t>(cfg_.minibatch, train.samples.size());
+
+  while (slots_.size() < B) slots_.push_back(std::make_unique<FitSlot>());
+  for (std::size_t k = 0; k < B; ++k) slots_[k]->prepare(net_, T, classes);
+  grad_acc_.resize(net_.layers.size());
+  for (std::size_t li = 0; li < net_.layers.size(); ++li)
+    grad_acc_[li].resize(net_.layers[li].weights.size());
 
   std::vector<EpochStats> history;
   Rng shuffle_rng(cfg_.seed ^ 0xABCDEF);
@@ -366,146 +817,54 @@ std::vector<EpochStats> Trainer::fit(const data::Dataset& train) {
     double loss_acc = 0.0;
     std::size_t correct = 0;
 
-    for (std::size_t oi = 0; oi < order.size(); ++oi) {
-      const data::Sample& sample = train.samples[order[oi]];
+    for (std::size_t mb = 0; mb < order.size(); mb += B) {
+      const std::size_t b_cur = std::min(B, order.size() - mb);
 
-      // ---------------- forward, recording everything ----------------
-      std::vector<LayerState> states(net_.layers.size());
-      std::vector<std::vector<float>> spikes = rasterize(sample.stream);
-      std::vector<std::vector<std::vector<float>>> syn_rec(net_.layers.size());
+      // Forward + backward of the minibatch, one slot per sample. Weights
+      // are frozen for the span of the minibatch, so slots are fully
+      // independent; with B = 1 this is the original per-sample schedule.
+      parallel_samples(b_cur, [&](std::size_t k) {
+        slots_[k]->process(net_, cfg_, nc, classes,
+                           train.samples[order[mb + k]]);
+      });
 
-      for (std::size_t li = 0; li < net_.layers.size(); ++li) {
-        const LayerSpec& l = net_.layers[li];
-        LayerState& st = states[li];
-        st.n_in = l.in_flat();
-        st.n_out = l.out_flat();
-        st.in_spikes = spikes;
-        st.drive.resize(T);
-        st.v_pre.resize(T);
-        st.spikes.resize(T);
-        syn_rec[li].assign(T, {});
-
-        std::vector<double> v(st.n_out, 0.0), syn(st.n_out, 0.0),
-            refr(st.n_out, 0.0);
-        for (std::uint16_t t = 0; t < T; ++t) {
-          forward_op(l, st.in_spikes[t], st.drive[t]);
-          st.v_pre[t].assign(st.n_out, 0.0f);
-          st.spikes[t].assign(st.n_out, 0.0f);
-          for (std::size_t i = 0; i < st.n_out; ++i) {
-            if (l.type == LayerSpec::Type::kPool) {
-              st.spikes[t][i] = st.drive[t][i] > 0.0f ? 1.0f : 0.0f;
-              continue;
-            }
-            double vp;
-            if (cfg_.model == NeuronModel::kSneLif) {
-              vp = leak_toward_zero(v[i], cfg_.leak) + st.drive[t][i];
-            } else {
-              syn[i] = a_s * syn[i] + st.drive[t][i];
-              vp = a_m * v[i] + syn[i] - refr[i];
-              refr[i] *= std::exp(-0.5);
-            }
-            st.v_pre[t][i] = static_cast<float>(vp);
-            const bool spike = vp > l.threshold;
-            st.spikes[t][i] = spike ? 1.0f : 0.0f;
-            if (spike && cfg_.model == NeuronModel::kSrm)
-              refr[i] += 2.0 * l.threshold;
-            v[i] = spike ? 0.0 : vp;
-          }
-        }
-        spikes = st.spikes;
-      }
-
-      // ---------------- loss on output spike counts ----------------
-      std::vector<double> counts(classes, 0.0);
-      for (std::uint16_t t = 0; t < T; ++t)
-        for (std::size_t k = 0; k < classes; ++k) counts[k] += spikes[t][k];
-      const double max_logit =
-          *std::max_element(counts.begin(), counts.end()) * count_scale;
-      double z = 0.0;
-      std::vector<double> p(classes);
-      for (std::size_t k = 0; k < classes; ++k) {
-        p[k] = std::exp(counts[k] * count_scale - max_logit);
-        z += p[k];
-      }
-      for (auto& pk : p) pk /= z;
-      loss_acc += -std::log(std::max(p[sample.label], 1e-12));
-      const std::size_t pred = static_cast<std::size_t>(
-          std::max_element(counts.begin(), counts.end()) - counts.begin());
-      if (pred == sample.label) ++correct;
-
-      // dL/dS_out[k][t] is constant over t.
-      std::vector<float> g_count(classes);
-      for (std::size_t k = 0; k < classes; ++k)
-        g_count[k] = static_cast<float>(
-            (p[k] - (k == sample.label ? 1.0 : 0.0)) * count_scale);
-
-      // ---------------- backward through layers and time ----------------
-      // g_spikes[t][i]: dL/d(output spike) of the current layer.
-      std::vector<std::vector<float>> g_spikes(
-          T, std::vector<float>(classes, 0.0f));
-      for (std::uint16_t t = 0; t < T; ++t) g_spikes[t] = g_count;
-
+      // Fixed-order gradient reduction (slot order == sample order) and one
+      // Adam step per layer, in the same reverse-layer order as the
+      // original serial trajectory. Worker count never enters here.
+      const double inv_b = 1.0 / static_cast<double>(b_cur);
+      const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
       for (std::size_t li = net_.layers.size(); li-- > 0;) {
-        const LayerSpec& l = net_.layers[li];
-        LayerState& st = states[li];
-        std::vector<std::vector<float>> g_in_spikes(
-            T, std::vector<float>(st.n_in, 0.0f));
-
-        if (l.type == LayerSpec::Type::kPool) {
-          std::vector<float> g_w_unused;
-          for (std::uint16_t t = 0; t < T; ++t)
-            backward_op(l, st.in_spikes[t], g_spikes[t], g_in_spikes[t],
-                        g_w_unused);
-          g_spikes = std::move(g_in_spikes);
-          continue;
+        LayerSpec& lw = net_.layers[li];
+        if (lw.type == LayerSpec::Type::kPool) continue;
+        std::vector<double>& acc = grad_acc_[li];
+        const std::vector<float>& g0 = slots_[0]->layers[li].g_w;
+        for (std::size_t w = 0; w < acc.size(); ++w)
+          acc[w] = static_cast<double>(g0[w]);
+        for (std::size_t k = 1; k < b_cur; ++k) {
+          const std::vector<float>& gk = slots_[k]->layers[li].g_w;
+          for (std::size_t w = 0; w < acc.size(); ++w)
+            acc[w] += static_cast<double>(gk[w]);
         }
 
-        std::vector<float> g_w(l.weights.size(), 0.0f);
-        std::vector<double> g_v_post(st.n_out, 0.0);  // dL/dV[t] (post-reset)
-        std::vector<double> g_syn(st.n_out, 0.0);     // SRM: dL/di[t]
-        std::vector<float> g_drive(st.n_out, 0.0f);
-
-        for (std::uint16_t t = T; t-- > 0;) {
-          for (std::size_t i = 0; i < st.n_out; ++i) {
-            const double vp = st.v_pre[t][i];
-            const bool spiked = st.spikes[t][i] > 0.5f;
-            // dL/dVp[t]: surrogate spike path + state path (reset detached).
-            double g_vp =
-                static_cast<double>(g_spikes[t][i]) *
-                    surrogate(vp, l.threshold, cfg_.surrogate_width) +
-                (spiked ? 0.0 : g_v_post[i]);
-            if (cfg_.model == NeuronModel::kSneLif) {
-              g_drive[i] = static_cast<float>(g_vp);
-              // V[t-1] feeds Vp[t] through the leak.
-              g_v_post[i] = g_vp * leak_gradient(vp, cfg_.leak);
-            } else {
-              // Vp[t] = a_m V[t-1] + i[t] - r; i[t] = a_s i[t-1] + I[t].
-              const double gi = g_vp + g_syn[i];
-              g_drive[i] = static_cast<float>(gi);
-              g_syn[i] = gi * a_s;
-              g_v_post[i] = g_vp * a_m;
-            }
-          }
-          backward_op(l, st.in_spikes[t], g_drive, g_in_spikes[t], g_w);
-        }
-
-        // Adam update for this layer.
         adam_t_++;
-        const double b1 = 0.9, b2 = 0.999, eps = 1e-8;
         const double bc1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
         const double bc2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
-        LayerSpec& lw = net_.layers[li];
         for (std::size_t w = 0; w < lw.weights.size(); ++w) {
-          adam_m_[li][w] = static_cast<float>(b1 * adam_m_[li][w] + (1 - b1) * g_w[w]);
-          adam_v_[li][w] = static_cast<float>(b2 * adam_v_[li][w] +
-                                              (1 - b2) * g_w[w] * g_w[w]);
+          const double g = acc[w] * inv_b;
+          adam_m_[li][w] =
+              static_cast<float>(b1 * adam_m_[li][w] + (1 - b1) * g);
+          adam_v_[li][w] =
+              static_cast<float>(b2 * adam_v_[li][w] + (1 - b2) * g * g);
           const double mhat = adam_m_[li][w] / bc1;
           const double vhat = adam_v_[li][w] / bc2;
           lw.weights[w] -=
               static_cast<float>(cfg_.lr * mhat / (std::sqrt(vhat) + eps));
         }
+      }
 
-        g_spikes = std::move(g_in_spikes);
+      for (std::size_t k = 0; k < b_cur; ++k) {
+        loss_acc += slots_[k]->loss;
+        if (slots_[k]->correct) ++correct;
       }
     }
 

@@ -1,0 +1,211 @@
+// Determinism contract of the data-parallel flat-tensor trainer:
+//
+//  * for a fixed minibatch, trained weights and EpochStats are bitwise
+//    identical for every worker count (1 / 2 / 4, shared pool or dedicated);
+//  * minibatch = 1 reproduces the pre-refactor serial trajectory (golden
+//    values recorded from the nested-vector implementation on the same toy
+//    task before the flat-tensor rework);
+//  * parallel evaluate() and calibrate_thresholds() match their serial
+//    results exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/synthetic.h"
+#include "ecnn/layer.h"
+#include "train/trainer.h"
+
+namespace sne::train {
+namespace {
+
+/// Three-class toy task: events concentrated in the left / middle / right
+/// third of a 2-channel 12x12 frame. (Identical to the generator used to
+/// record the pre-refactor golden trajectory below.)
+data::Dataset make_toy_task(std::uint16_t samples_per_class,
+                            std::uint64_t seed) {
+  data::Dataset d;
+  d.geometry = event::StreamGeometry{2, 12, 12, 8};
+  d.classes = 3;
+  Rng rng(seed);
+  for (std::uint16_t label = 0; label < 3; ++label) {
+    for (std::uint16_t k = 0; k < samples_per_class; ++k) {
+      data::Sample s;
+      s.label = label;
+      s.stream = event::EventStream(d.geometry);
+      for (std::uint16_t t = 0; t < 8; ++t)
+        for (int e = 0; e < 4; ++e) {
+          const std::uint8_t x = static_cast<std::uint8_t>(
+              label * 4 + rng.uniform_int(0, 3));
+          const std::uint8_t y =
+              static_cast<std::uint8_t>(rng.uniform_int(0, 11));
+          const std::uint8_t ch =
+              static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+          s.stream.push_update(t, ch, x, y);
+        }
+      s.stream.normalize();
+      d.samples.push_back(std::move(s));
+    }
+  }
+  return d;
+}
+
+/// conv -> pool -> fc: one layer of every type.
+ecnn::Network toy_net() {
+  ecnn::Network n;
+  n.layers = {ecnn::LayerSpec::conv("c", 2, 12, 12, 4, 3, 1, 1),
+              ecnn::LayerSpec::pool("p", 4, 12, 12, 2),
+              ecnn::LayerSpec::fc("f", 4, 6, 6, 3)};
+  n.validate();
+  return n;
+}
+
+struct TrainedRun {
+  std::vector<EpochStats> history;
+  ecnn::Network net;
+  double eval = 0.0;
+};
+
+TrainedRun train_toy(NeuronModel model, std::uint32_t minibatch,
+                     unsigned workers, bool calibrate = false,
+                     std::uint32_t epochs = 3) {
+  const data::Dataset tr = make_toy_task(6, 11);
+  const data::Dataset te = make_toy_task(4, 12);
+  TrainConfig cfg;
+  cfg.model = model;
+  cfg.epochs = epochs;
+  cfg.lr = 4e-3;
+  cfg.minibatch = minibatch;
+  cfg.workers = workers;
+  Trainer t(toy_net(), cfg);
+  if (calibrate) t.calibrate_thresholds(tr, 1.0, 4);
+  TrainedRun run;
+  run.history = t.fit(tr);
+  run.eval = t.evaluate(te);
+  run.net = t.network();
+  return run;
+}
+
+void expect_bitwise_equal(const TrainedRun& a, const TrainedRun& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_EQ(a.history[e].loss, b.history[e].loss) << "epoch " << e;
+    EXPECT_EQ(a.history[e].train_accuracy, b.history[e].train_accuracy)
+        << "epoch " << e;
+  }
+  EXPECT_EQ(a.eval, b.eval);
+  ASSERT_EQ(a.net.layers.size(), b.net.layers.size());
+  for (std::size_t li = 0; li < a.net.layers.size(); ++li) {
+    const auto& wa = a.net.layers[li].weights;
+    const auto& wb = b.net.layers[li].weights;
+    ASSERT_EQ(wa.size(), wb.size());
+    for (std::size_t w = 0; w < wa.size(); ++w)
+      ASSERT_EQ(wa[w], wb[w]) << "layer " << li << " weight " << w;
+    EXPECT_EQ(a.net.layers[li].threshold, b.net.layers[li].threshold);
+  }
+}
+
+TEST(TrainParallelTest, WeightsBitwiseIdenticalAcrossWorkers) {
+  // Same minibatch, three worker configurations (serial / dedicated pools):
+  // every trained bit and every EpochStats field must match.
+  const TrainedRun w1 = train_toy(NeuronModel::kSneLif, 4, 1);
+  const TrainedRun w2 = train_toy(NeuronModel::kSneLif, 4, 2);
+  const TrainedRun w4 = train_toy(NeuronModel::kSneLif, 4, 4);
+  expect_bitwise_equal(w1, w2);
+  expect_bitwise_equal(w1, w4);
+}
+
+TEST(TrainParallelTest, RaggedMinibatchBitwiseAcrossWorkers) {
+  // 18 samples with minibatch 4 leaves a ragged tail of 2; the fixed-order
+  // reduction must stay worker-invariant there too. SRM covers the second
+  // neuron model.
+  const TrainedRun w1 = train_toy(NeuronModel::kSrm, 4, 1);
+  const TrainedRun w4 = train_toy(NeuronModel::kSrm, 4, 4);
+  expect_bitwise_equal(w1, w4);
+}
+
+TEST(TrainParallelTest, SharedPoolMatchesDedicatedPool) {
+  // workers = 0 (process-wide pool) must produce the same bits as any
+  // dedicated pool size.
+  const TrainedRun shared = train_toy(NeuronModel::kSneLif, 3, 0);
+  const TrainedRun serial = train_toy(NeuronModel::kSneLif, 3, 1);
+  expect_bitwise_equal(shared, serial);
+}
+
+// Golden trajectory recorded from the pre-refactor nested-vector trainer
+// (minibatch 1, serial) on make_toy_task(6, 11) / toy_net with
+// calibrate_thresholds(train, 1.0, 4), epochs = 4, lr = 4e-3: the flat
+// data-parallel trainer at minibatch = 1 must retrace it. EXPECT_DOUBLE_EQ
+// (4 ulp) keeps the pin robust to libm differences across hosts while still
+// catching any real trajectory change.
+TEST(TrainParallelTest, MinibatchOneMatchesPreRefactorSerialTrajectory) {
+  const TrainedRun lif =
+      train_toy(NeuronModel::kSneLif, 1, 1, /*calibrate=*/true, /*epochs=*/4);
+  ASSERT_EQ(lif.history.size(), 4u);
+  EXPECT_DOUBLE_EQ(lif.history[0].loss, 0x1.344dc70000dabp+0);
+  EXPECT_DOUBLE_EQ(lif.history[1].loss, 0x1.8d991293cd374p-3);
+  EXPECT_DOUBLE_EQ(lif.history[2].loss, 0x1.6ace308001dbap-5);
+  EXPECT_DOUBLE_EQ(lif.history[3].loss, 0x1.31086da33a6ccp-5);
+  EXPECT_DOUBLE_EQ(lif.history[0].train_accuracy, 0x1.c71c71c71c71cp-2);
+  EXPECT_DOUBLE_EQ(lif.history[1].train_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(lif.eval, 1.0);
+  ASSERT_EQ(lif.net.layers.size(), 3u);
+  EXPECT_FLOAT_EQ(lif.net.layers[0].threshold, 0x1.01a164p-2f);
+  EXPECT_FLOAT_EQ(lif.net.layers[2].threshold, 0x1.9aacaep-3f);
+
+  const TrainedRun srm =
+      train_toy(NeuronModel::kSrm, 1, 1, /*calibrate=*/true, /*epochs=*/4);
+  EXPECT_DOUBLE_EQ(srm.history[0].loss, 0x1.15c230e48b0f9p+0);
+  EXPECT_DOUBLE_EQ(srm.history[1].loss, 0x1.09f08cad2ceddp-2);
+  EXPECT_DOUBLE_EQ(srm.history[2].loss, 0x1.0c988b699944ap-4);
+  EXPECT_DOUBLE_EQ(srm.history[3].loss, 0x1.acd05703ba18ap-5);
+  EXPECT_FLOAT_EQ(srm.net.layers[0].threshold, 0x1.d1c71ep-2f);
+  EXPECT_FLOAT_EQ(srm.net.layers[2].threshold, 0x1.5f73eep-3f);
+}
+
+TEST(TrainParallelTest, CalibrationBitwiseAcrossWorkers) {
+  const data::Dataset calib = make_toy_task(6, 21);
+  std::vector<float> ref;
+  for (unsigned workers : {1u, 2u, 4u}) {
+    TrainConfig cfg;
+    cfg.workers = workers;
+    Trainer t(toy_net(), cfg);
+    t.calibrate_thresholds(calib, 1.0, 5);
+    std::vector<float> th;
+    for (const auto& l : t.network().layers) th.push_back(l.threshold);
+    if (ref.empty())
+      ref = th;
+    else
+      EXPECT_EQ(ref, th) << "workers=" << workers;
+  }
+}
+
+TEST(TrainParallelTest, ParallelEvaluateMatchesSerial) {
+  const data::Dataset tr = make_toy_task(6, 31);
+  const data::Dataset te = make_toy_task(5, 32);
+  double serial_acc = -1.0;
+  for (unsigned workers : {1u, 4u, 0u}) {
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.minibatch = 2;
+    cfg.workers = workers;
+    Trainer t(toy_net(), cfg);
+    t.fit(tr);
+    const double acc = t.evaluate(te);
+    if (serial_acc < 0.0)
+      serial_acc = acc;
+    else
+      EXPECT_EQ(serial_acc, acc) << "workers=" << workers;
+  }
+}
+
+TEST(TrainParallelTest, MinibatchTrainingLearnsToyTask) {
+  // Averaged minibatch gradients change the trajectory (that is expected);
+  // the optimizer must still solve the separable toy task.
+  const TrainedRun run =
+      train_toy(NeuronModel::kSneLif, 4, 0, /*calibrate=*/true, /*epochs=*/8);
+  EXPECT_LT(run.history.back().loss, run.history.front().loss);
+  EXPECT_GE(run.eval, 0.9);
+}
+
+}  // namespace
+}  // namespace sne::train
