@@ -11,6 +11,9 @@
 #include "ecnn/mapper.h"
 #include "ecnn/runner.h"
 #include "event/event.h"
+#include "serve/pipeline.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 #include "train/trainer.h"
 
 namespace {
@@ -248,6 +251,115 @@ BENCHMARK(BM_TrainerEpoch)
     ->Args({0, 1})->Args({0, 2})->Args({0, 4})
     ->Args({1, 1})->Args({1, 4})
     ->UseRealTime()  // worker lanes shift work off the timing thread
+    ->Unit(benchmark::kMillisecond);
+
+// Serving throughput: a batch of requests through the sne::serve runtime.
+// Arg 0: engines (server workers / pipeline stages); arg 1: execution mode
+// (0 = fresh-construct: every request builds its own engine, the pre-pool
+// cost model; 1 = pooled-reuse: requests lease reset engines from the pool;
+// 2 = pipelined sharding: consecutive layers on different pooled engines
+// joined by bounded stream queues). All modes produce bitwise-identical
+// per-request results (test_serve pins it), so sim_cycles_per_s denominators
+// agree — wall clock is the product being measured. On the 1-core CI-like
+// box modes 0 vs 1 isolate per-request construction (a 16 MB memory-model
+// zero-fill per sample at the default design point); engine/stage scaling
+// shows on multi-core hosts.
+void BM_ServeThroughput(benchmark::State& state) {
+  const auto engines = static_cast<unsigned>(state.range(0));
+  const auto mode = static_cast<int>(state.range(1));
+  ecnn::QuantizedNetwork net;
+  {
+    ecnn::QuantizedLayerSpec conv;
+    conv.type = ecnn::LayerSpec::Type::kConv;
+    conv.name = "conv";
+    conv.in_ch = 1;
+    conv.in_w = 16;
+    conv.in_h = 16;
+    conv.out_ch = 8;
+    conv.kernel = 3;
+    conv.stride = 1;
+    conv.pad = 1;
+    conv.weights.resize(static_cast<std::size_t>(conv.out_ch) * 9);
+    Rng rng(11);
+    for (auto& w : conv.weights)
+      w = static_cast<std::int8_t>(rng.uniform_int(-4, 7));
+    conv.lif.v_th = 4;
+    conv.lif.leak = 1;
+    net.layers.push_back(conv);
+
+    ecnn::QuantizedLayerSpec pool;
+    pool.type = ecnn::LayerSpec::Type::kPool;
+    pool.name = "pool";
+    pool.in_ch = 8;
+    pool.in_w = 16;
+    pool.in_h = 16;
+    pool.out_ch = 8;
+    pool.kernel = 2;
+    pool.stride = 2;
+    pool.lif.v_th = 0;
+    pool.lif.leak = 0;
+    net.layers.push_back(pool);
+
+    ecnn::QuantizedLayerSpec fc;
+    fc.type = ecnn::LayerSpec::Type::kFc;
+    fc.name = "fc";
+    fc.in_ch = 8;
+    fc.in_w = 8;
+    fc.in_h = 8;
+    fc.out_ch = 10;
+    fc.weights.resize(static_cast<std::size_t>(fc.out_ch) * fc.in_flat());
+    for (auto& w : fc.weights)
+      w = static_cast<std::int8_t>(rng.uniform_int(-7, 7));
+    fc.lif.v_th = 6;
+    fc.lif.leak = 1;
+    net.layers.push_back(fc);
+  }
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 12; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 910 + s));
+
+  const core::SneConfig hw = core::SneConfig::paper_design_point(2);
+  serve::ModelRegistry registry;
+  registry.put("m", net);
+
+  std::uint64_t cycles = 0;
+  std::uint64_t requests = 0;
+  if (mode == 2) {
+    serve::PipelineOptions po;
+    po.stages = engines;
+    serve::PipelineDeployment deployment(hw, net, po);
+    for (auto _ : state) {
+      const auto results = deployment.run(inputs);
+      for (const auto& r : results) cycles += r.cycles;
+      requests += results.size();
+      benchmark::DoNotOptimize(results.size());
+    }
+  } else {
+    serve::ServeOptions so;
+    so.engines = engines;
+    so.reuse_engines = mode == 1;
+    serve::InferenceServer server(registry, hw, so);
+    std::vector<serve::Ticket> tickets;
+    for (auto _ : state) {
+      tickets.clear();
+      for (const auto& in : inputs) tickets.push_back(server.submit("m", in));
+      for (const auto& t : tickets) cycles += t.wait().cycles;
+      requests += tickets.size();
+      benchmark::DoNotOptimize(tickets.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.SetLabel(mode == 0   ? "mode=fresh-construct"
+                 : mode == 1 ? "mode=pooled-reuse"
+                             : "mode=pipelined");
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})->Args({4, 1})
+    ->Args({2, 2})->Args({3, 2})
+    ->UseRealTime()  // dispatch workers shift work off the timing thread
     ->Unit(benchmark::kMillisecond);
 
 void BM_GestureGeneration(benchmark::State& state) {

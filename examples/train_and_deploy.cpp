@@ -6,10 +6,15 @@
 //  3. quantize to SNE-LIF-4b (4-bit weights, 8-bit threshold/leak),
 //  4. evaluate the integer model with the golden executor,
 //  5. deploy one test sample on the cycle-accurate engine and report
-//     accuracy, latency and energy.
+//     accuracy, latency and energy,
+//  6. hand off to serving: checkpoint the model, load it into a
+//     ModelRegistry, and run the test set through the async InferenceServer
+//     on pooled engines.
 //
 //   $ ./train_and_deploy            (small defaults, ~1 minute)
+#include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
 #include "core/engine.h"
@@ -18,6 +23,9 @@
 #include "ecnn/quantized.h"
 #include "ecnn/runner.h"
 #include "energy/energy_model.h"
+#include "serve/checkpoint.h"
+#include "serve/registry.h"
+#include "serve/server.h"
 #include "train/trainer.h"
 
 int main() {
@@ -105,6 +113,50 @@ int main() {
             << " ms), "
             << AsciiTable::num(model.evaluate(stats.total).total_uj(), 3)
             << " uJ\n";
+
+  // 6. Train-to-serve hand-off: checkpoint -> registry -> served inference.
+  //    The checkpoint stores the weights bit-exactly plus the mapper-plan
+  //    summary for this design point; the server leases reset engines from
+  //    its pool, so every served result is bitwise identical to step 5's
+  //    direct NetworkRunner run of the same sample.
+  const std::string ckpt_path = "/tmp/sne_gesture.snem";
+  const serve::CheckpointPlanMeta meta =
+      serve::plan_metadata(qnet, hw, gcfg.timesteps);
+  serve::save_model(qnet, ckpt_path, &meta);
+  serve::ModelRegistry registry;
+  registry.load_file("gesture", ckpt_path);
+  std::cout << "[6] checkpointed to " << ckpt_path << " and reloaded; serving "
+            << split.test.samples.size() << " requests on pooled engines...\n";
+
+  serve::ServeOptions so;
+  so.engines = 2;
+  serve::InferenceServer server(registry, hw, so);
+  std::vector<serve::Ticket> tickets;
+  for (const auto& s : split.test.samples)
+    tickets.push_back(server.submit("gesture", s.stream));
+  std::size_t served_correct = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const ecnn::NetworkRunStats& r = tickets[i].wait();
+    const auto counts = ecnn::GoldenExecutor::class_spike_counts(
+        r.final_output, gcfg.classes);
+    std::size_t pred = 0;
+    for (std::size_t k = 1; k < counts.size(); ++k)
+      if (counts[k] > counts[pred]) pred = k;
+    if (pred == split.test.samples[i].label) ++served_correct;
+  }
+  const serve::ServerStats st = server.stats();
+  std::cout << "    served accuracy "
+            << AsciiTable::num(100.0 * static_cast<double>(served_correct) /
+                                   static_cast<double>(tickets.size()),
+                               1)
+            << "% (hardware spike counts), " << st.completed << "/"
+            << st.submitted << " completed, "
+            << AsciiTable::num(st.throughput_rps, 1) << " req/s, p50 "
+            << AsciiTable::num(st.latency_ms_p50, 1) << " ms, p99 "
+            << AsciiTable::num(st.latency_ms_p99, 1) << " ms, "
+            << st.engines_constructed << " engines for " << st.engine_leases
+            << " leases\n";
+  std::remove(ckpt_path.c_str());
   std::cout << "\ndone.\n";
   return 0;
 }

@@ -46,6 +46,17 @@ void SneEngine::rebuild_route_index() {
   }
 }
 
+void SneEngine::reset() {
+  for (auto& sl : slices_) sl.reset();
+  in_dma_.reset();
+  for (auto& dma : out_dmas_) dma.reset();
+  collector_arb_.reset();
+  mem_.reset_rng();
+  routes_ = XbarRoutes::time_multiplexed(cfg_.num_slices);
+  rebuild_route_index();
+  total_ = hwsim::ActivityCounters{};
+}
+
 SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
                                     const RunOptions& opts) {
   if (program.size() > out_region_base_)
@@ -53,6 +64,13 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
   for (auto d : routes_.input_dest)
     if (!slice(d).configured())
       throw ConfigError("route targets an unconfigured slice");
+
+  // The start pulse rewinds the collector's rotating priority, so a run's
+  // grant schedule depends only on the programmed configuration — never on
+  // what a previous run on this engine happened to grant last. This is what
+  // lets pooled engines and pipeline stages reproduce the serial reference
+  // bit for bit (sne::serve pins it).
+  collector_arb_.reset();
 
   mem_.load(0, program);
   in_dma_.start(0, program.size());

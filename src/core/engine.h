@@ -85,6 +85,18 @@ class SneEngine {
   }
   const XbarRoutes& routes() const { return routes_; }
 
+  /// Returns the engine to its freshly-constructed state: every slice
+  /// deconfigured and wiped, DMA FIFOs cleared, arbitration pointers rewound,
+  /// the memory contention-stall RNG reseeded, routes back to the
+  /// time-multiplexed default and the lifetime counters zeroed. Memory
+  /// *contents* are not scrubbed — every run loads its own program image and
+  /// dumps only the words it wrote, so stale words are unobservable. After
+  /// reset() all subsequent runs are bitwise identical to the same runs on a
+  /// new engine; the serving engine pool relies on this to reuse engines
+  /// across requests instead of paying construction (the dominant cost: the
+  /// memory model's multi-MB zero-fill) per sample.
+  void reset();
+
   /// Loads `program` into external memory and executes it to quiescence.
   RunResult run(const std::vector<event::Beat>& program,
                 const RunOptions& opts = RunOptions{});
@@ -94,7 +106,8 @@ class SneEngine {
                 const RunOptions& opts = RunOptions{},
                 event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly);
 
-  /// Lifetime activity totals (across all runs since construction).
+  /// Accumulated activity totals across all runs since construction or the
+  /// last reset(), whichever is later.
   const hwsim::ActivityCounters& total_counters() const { return total_; }
 
  private:

@@ -95,6 +95,50 @@ void Slice::configure(const SliceConfig& cfg) {
   collector_arb_.reset();
 }
 
+void Slice::reset() {
+  configured_ = false;
+  cfg_ = SliceConfig{};
+  // weights_ is deliberately left as-is: configure() rebuilds the store per
+  // pass before any run can touch the slice, so wiping here would be paid on
+  // every lease release and then discarded.
+  for (auto& cl : clusters_) {
+    for (auto& n : cl.neurons) n.reset();
+    cl.out_fifo.reset();
+    cl.map = ClusterMapping{};
+    cl.enabled_for_event = false;
+    cl.armed = {};
+  }
+  in_fifo_.reset();
+  out_fifo_.reset();
+  collector_arb_.reset();
+  state_ = State::kIdle;
+  current_ = event::Event{};
+  schedule_.clear();
+  sweep_slots_ = 0;
+  cluster_pending_ = 0;
+  cluster_nonempty_ = 0;
+  sweep_pos_ = 0;
+  write_phase_ = false;
+  wload_remaining_ = 0;
+  wload_set_ = 0;
+  wload_group_ = 0;
+  fc_streamed_beats_ = 0;
+  update_len_lut_.clear();
+  mapped_mask_.clear();
+  cluster_mapped_.clear();
+  mapped_total_ = 0;
+  fire_leaked_.clear();
+  fire_mask_.clear();
+  fired_any_ = false;
+  countdown_ = 0;
+  post_state_ = State::kIdle;
+  ev_ox_ = Interval{};
+  ev_oy_ = Interval{};
+  ev_accepted_ = 0;
+  enabled_clusters_ = 0;
+  ev_accepted_idx_ = {};
+}
+
 void Slice::tick(hwsim::ActivityCounters& c) {
   if (!configured_) {
     // A slice that no pass has programmed is statically idle; routing events

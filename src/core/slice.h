@@ -71,6 +71,14 @@ class Slice {
   /// Weight contents are loaded separately (WLOAD beats or load_weights).
   void configure(const SliceConfig& cfg);
 
+  /// Returns the slice to its freshly-constructed state: deconfigured, all
+  /// FIFOs empty, neuron membranes wiped, arbitration pointer rewound. The
+  /// weight store is left stale — the next configure() rebuilds it per pass
+  /// before anything can read it. The serving engine pool resets pooled
+  /// engines between requests so a reused slice is indistinguishable from a
+  /// new one (pinned by test_serve).
+  void reset();
+
   /// Host-side bulk weight load (bypasses the streamed WLOAD path; tests
   /// cover the equivalence of both paths).
   WeightMemory& weights() { return weights_; }

@@ -33,6 +33,17 @@ class InputStreamer {
     wait_ = remaining_ > 0 ? mem_->next_word_delay(/*first_of_burst=*/true) : 0;
   }
 
+  /// Restores the freshly-constructed state (engine reset path), including
+  /// the FIFO occupancy statistics. A drained streamer's transfer state is
+  /// already equivalent; this also covers aborted transfers.
+  void reset() {
+    fifo_.reset();
+    base_ = 0;
+    cursor_ = 0;
+    remaining_ = 0;
+    wait_ = 0;
+  }
+
   bool transfer_done() const { return remaining_ == 0; }
   bool fully_drained() const { return transfer_done() && fifo_.empty(); }
   hwsim::Fifo<event::Beat>& fifo() { return fifo_; }
@@ -104,6 +115,15 @@ class OutputStreamer {
   const hwsim::Fifo<event::Beat>& fifo() const { return fifo_; }
   std::size_t written() const { return written_; }
   bool drained() const { return fifo_.empty(); }
+
+  /// Restores the freshly-constructed state (engine reset path), including
+  /// the FIFO occupancy statistics.
+  void reset() {
+    fifo_.reset();
+    base_ = 0;
+    capacity_ = 0;
+    written_ = 0;
+  }
 
   /// One clock cycle: writes at most one word to memory (posted writes; the
   /// write latency is hidden behind the FIFO, as in the RTL).

@@ -4,13 +4,19 @@
 // (Table-1 accuracy, energy proportionality) run hundreds of independent
 // samples, which is embarrassingly parallel at the sample level. BatchRunner
 // simulates one QuantizedNetwork over N input streams across the persistent
-// thread pool, one full SneEngine per sample.
+// thread pool, each in-flight sample on its own pooled engine.
 //
-// Determinism: every sample is simulated on a freshly constructed engine
-// (the engine and its memory model carry no state between samples, including
-// the contention-stall RNG), so results are bitwise independent of the
-// worker count and of how samples are scheduled onto threads — the
-// regression suite asserts this.
+// Engine reuse: run() leases engines from a serve::EnginePool (one engine
+// per in-flight slot, grown on demand and kept across run() calls) instead
+// of constructing one per sample — construction is dominated by the
+// memory model's multi-MB zero-fill, which used to be paid per sample.
+// run_one() keeps the fresh-engine path as the reference semantics.
+//
+// Determinism: a released engine is reset() to the freshly-constructed
+// machine state (including the contention-stall RNG), so pooled results are
+// bitwise identical to fresh-engine results and independent of the worker
+// count and of how samples are scheduled onto threads — the regression
+// suite asserts this.
 #pragma once
 
 #include <cstddef>
@@ -24,6 +30,7 @@
 #include "ecnn/runner.h"
 #include "event/event_stream.h"
 #include "hwsim/memory.h"
+#include "serve/engine_pool.h"
 
 namespace sne::ecnn {
 
@@ -41,12 +48,14 @@ class BatchRunner {
  public:
   BatchRunner(core::SneConfig hw, QuantizedNetwork net, BatchOptions opts = {});
 
-  /// Simulates every input independently; results[i] corresponds to
-  /// inputs[i]. Bitwise deterministic regardless of worker count.
+  /// Simulates every input independently on pooled (reused) engines;
+  /// results[i] corresponds to inputs[i]. Bitwise deterministic regardless
+  /// of worker count, and bitwise equal to run_one() per sample.
   std::vector<NetworkRunStats> run(
       const std::vector<event::EventStream>& inputs);
 
-  /// Simulates one input on a fresh engine (the per-task body of run()).
+  /// Simulates one input on a fresh engine: the serial reference semantics
+  /// the pooled path must reproduce bit for bit (test_serve pins it).
   NetworkRunStats run_one(const event::EventStream& input) const;
 
   /// Integer golden-model execution of the network over every input, one
@@ -68,6 +77,9 @@ class BatchRunner {
   /// Dedicated pool when opts_.workers > 0 (spawned once, reused across
   /// run() calls); otherwise run() uses ThreadPool::global().
   std::unique_ptr<ThreadPool> pool_;
+  /// Resident engines for run(): grows to the number of in-flight slots and
+  /// is kept across run() calls (engines reset between samples).
+  std::unique_ptr<serve::EnginePool> engines_;
 };
 
 }  // namespace sne::ecnn

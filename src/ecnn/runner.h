@@ -83,13 +83,19 @@ class NetworkRunner {
                       event::FirePolicy policy =
                           event::FirePolicy::kActiveStepsOnly);
 
+  /// Runs one layer (all of its mapper rounds) on the engine and returns its
+  /// stats; `run` is a fold of this over the network's layers. Public as the
+  /// serving reuse hook: a pipeline stage executes exactly this per owned
+  /// layer, so sharded execution reproduces the serial protocol bit for bit
+  /// (sne::serve::PipelineDeployment).
+  LayerRunStats run_layer(const QuantizedLayerSpec& layer,
+                          const event::EventStream& input,
+                          event::FirePolicy policy =
+                              event::FirePolicy::kActiveStepsOnly);
+
   const Mapper& mapper() const { return mapper_; }
 
  private:
-  LayerRunStats run_layer(const QuantizedLayerSpec& layer,
-                          const event::EventStream& input,
-                          event::FirePolicy policy);
-
   /// Installs one pass's weights, either over the stream or host-side.
   void program_weights(const SlicePass& pass, hwsim::ActivityCounters& agg,
                        std::uint64_t& cycles);

@@ -4,6 +4,7 @@
 // recorded streams.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -36,13 +37,18 @@ inline void save_stream(const EventStream& s, const std::string& path) {
   if (!f) throw ConfigError("write failed: " + path);
 }
 
-/// Loads a stream written by save_stream.
+/// Loads a stream written by save_stream. The file must be *exactly* the
+/// header plus `count` beat words: every read is checked (a short file used
+/// to zero-fill whatever followed the truncation point and silently yield a
+/// partial stream) and trailing bytes are rejected, so a corrupted or
+/// mis-concatenated recording fails loudly instead of simulating garbage.
 inline EventStream load_stream(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw ConfigError("cannot open for reading: " + path);
-  const auto get = [&f]() {
+  const auto get = [&f, &path]() {
     std::uint32_t v = 0;
-    f.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!f.read(reinterpret_cast<char*>(&v), sizeof v))
+      throw ConfigError("truncated stream file: " + path);
     return v;
   };
   if (get() != kStreamFileMagic) throw ConfigError("bad magic in " + path);
@@ -52,9 +58,11 @@ inline EventStream load_stream(const std::string& path) {
   g.height = static_cast<std::uint8_t>(get());
   g.timesteps = static_cast<std::uint16_t>(get());
   const std::uint32_t count = get();
-  std::vector<Beat> beats(count);
-  for (auto& b : beats) b = get();
-  if (!f) throw ConfigError("truncated stream file: " + path);
+  std::vector<Beat> beats;
+  beats.reserve(std::min<std::uint32_t>(count, 1u << 20));
+  for (std::uint32_t i = 0; i < count; ++i) beats.push_back(get());
+  if (f.peek() != std::ifstream::traits_type::eof())
+    throw ConfigError("trailing bytes after stream in " + path);
   return EventStream::from_beats(beats, g);
 }
 

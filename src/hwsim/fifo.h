@@ -119,6 +119,16 @@ class Fifo {
     size_ = 0;
   }
 
+  /// Engine-reset path: contents *and* cumulative occupancy statistics back
+  /// to the freshly-constructed state (clear() deliberately keeps the stats
+  /// — run boundaries accumulate them for the energy model).
+  void reset() {
+    clear();
+    high_water_ = 0;
+    pushes_ = 0;
+    pops_ = 0;
+  }
+
   // Occupancy statistics (used by the energy model and FIFO-depth ablation).
   std::size_t high_water() const { return high_water_; }
   std::uint64_t total_pushes() const { return pushes_; }

@@ -27,9 +27,16 @@ class MemoryModel {
  public:
   explicit MemoryModel(std::size_t words, MemoryTiming timing = {},
                        std::uint64_t seed = 1)
-      : words_(words, 0), timing_(timing), rng_(seed) {
+      : words_(words, 0), timing_(timing), seed_(seed), rng_(seed) {
     SNE_EXPECTS(timing.latency_cycles >= 1);
   }
+
+  /// Rewinds the contention-stall RNG to its construction seed. Part of the
+  /// engine reset path: a reset engine replays the exact stall pattern of a
+  /// freshly constructed one, so pooled reuse stays bitwise reproducible.
+  /// Memory *contents* are left alone — every run confines its reads to the
+  /// program image it just loaded and its dumps to the words it just wrote.
+  void reset_rng() { rng_ = Rng(seed_); }
 
   std::size_t size() const { return words_.size(); }
 
@@ -78,6 +85,7 @@ class MemoryModel {
  private:
   std::vector<std::uint32_t> words_;
   MemoryTiming timing_;
+  std::uint64_t seed_;
   Rng rng_;
 };
 

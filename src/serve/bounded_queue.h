@@ -1,0 +1,98 @@
+// Bounded blocking queue: the admission and inter-stage channel of the
+// serving runtime.
+//
+// Semantics chosen for serving: push() blocks while full (backpressure
+// propagates to the submitter / upstream pipeline stage), try_push() rejects
+// instead, close() wakes everything — subsequent pushes fail, pops keep
+// draining what was accepted so no admitted request is dropped on shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace sne::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : cap_(capacity) {
+    SNE_EXPECTS(capacity > 0);
+  }
+
+  /// Blocks while full. Returns false (item not enqueued) once closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lk(m_);
+    not_full_.wait(lk, [this] { return closed_ || q_.size() < cap_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    if (q_.size() > peak_) peak_ = q_.size();
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  enum class PushResult { kAccepted, kFull, kClosed };
+
+  /// Non-blocking admission; the item is untouched unless accepted. kFull
+  /// and kClosed are distinguished so callers can tell transient overload
+  /// (retry later) from shutdown (stop submitting).
+  PushResult try_push(T& item) {
+    std::unique_lock<std::mutex> lk(m_);
+    if (closed_) return PushResult::kClosed;
+    if (q_.size() >= cap_) return PushResult::kFull;
+    q_.push_back(std::move(item));
+    if (q_.size() > peak_) peak_ = q_.size();
+    lk.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Blocks while empty; returns nullopt once closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(m_);
+    not_empty_.wait(lk, [this] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return q_.size();
+  }
+  /// High-water occupancy over the queue lifetime.
+  std::size_t peak() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return peak_;
+  }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> q_;
+  std::size_t cap_;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sne::serve

@@ -1,0 +1,225 @@
+#include "serve/checkpoint.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "common/contracts.h"
+#include "ecnn/mapper.h"
+
+namespace sne::serve {
+
+namespace {
+
+/// 32-bit FNV-1a folded over whole words: order-sensitive, so swapped or
+/// mutually-compensating word corruption is caught (an additive sum would
+/// not be).
+inline std::uint32_t fnv_step(std::uint32_t h, std::uint32_t word) {
+  return (h ^ word) * 16777619u;
+}
+inline constexpr std::uint32_t kFnvBasis = 2166136261u;
+
+/// Word-stream writer; the checksum is folded over the serialized words.
+struct Writer {
+  std::vector<std::uint32_t> words;
+
+  void put(std::uint32_t v) { words.push_back(v); }
+  void put_i32(std::int32_t v) { put(static_cast<std::uint32_t>(v)); }
+  void put_u64(std::uint64_t v) {
+    put(static_cast<std::uint32_t>(v));
+    put(static_cast<std::uint32_t>(v >> 32));
+  }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  void put_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; i += 4) {
+      std::uint32_t w = 0;
+      for (std::size_t k = 0; k < 4 && i + k < n; ++k)
+        w |= static_cast<std::uint32_t>(p[i + k]) << (8 * k);
+      put(w);
+    }
+  }
+};
+
+/// Checked word-stream reader over an open file.
+struct Reader {
+  std::ifstream& f;
+  const std::string& path;
+  std::uint32_t checksum = kFnvBasis;
+
+  std::uint32_t get() {
+    std::uint32_t v = 0;
+    if (!f.read(reinterpret_cast<char*>(&v), sizeof v))
+      throw ConfigError("truncated checkpoint: " + path);
+    checksum = fnv_step(checksum, v);
+    return v;
+  }
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get()); }
+  std::uint64_t get_u64() {
+    const std::uint64_t lo = get();
+    return lo | static_cast<std::uint64_t>(get()) << 32;
+  }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  void get_bytes(void* data, std::size_t n) {
+    auto* p = static_cast<std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; i += 4) {
+      const std::uint32_t w = get();
+      for (std::size_t k = 0; k < 4 && i + k < n; ++k)
+        p[i + k] = static_cast<std::uint8_t>(w >> (8 * k));
+    }
+  }
+};
+
+// Sanity bounds: corrupt length fields must fail fast instead of driving a
+// multi-gigabyte allocation before the truncation check can trigger.
+constexpr std::uint32_t kMaxLayers = 4096;
+constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint32_t kMaxWeights = 1u << 26;  // 64M codes per layer
+
+}  // namespace
+
+CheckpointPlanMeta plan_metadata(const ecnn::QuantizedNetwork& net,
+                                 const core::SneConfig& hw,
+                                 std::uint16_t timesteps) {
+  CheckpointPlanMeta meta;
+  meta.num_slices = hw.num_slices;
+  meta.timesteps = timesteps;
+  const ecnn::Mapper mapper(hw);
+  meta.layers.reserve(net.layers.size());
+  for (const auto& layer : net.layers) {
+    const ecnn::LayerPlan plan = mapper.plan(layer, timesteps);
+    LayerPlanMeta m;
+    m.rounds = static_cast<std::uint32_t>(plan.rounds.size());
+    for (const auto& round : plan.rounds)
+      m.passes += static_cast<std::uint32_t>(round.passes.size());
+    m.weight_beats = plan.weight_beats;
+    meta.layers.push_back(m);
+  }
+  return meta;
+}
+
+void save_model(const ecnn::QuantizedNetwork& net, const std::string& path,
+                const CheckpointPlanMeta* plan) {
+  SNE_EXPECTS(!net.layers.empty());
+  if (plan) SNE_EXPECTS(plan->layers.size() == net.layers.size());
+  Writer w;
+  w.put(kCheckpointMagic);
+  w.put(kCheckpointVersion);
+  w.put(static_cast<std::uint32_t>(net.layers.size()));
+  w.put(plan ? 1u : 0u);
+  if (plan) {
+    w.put(plan->num_slices);
+    w.put(plan->timesteps);
+    for (const auto& m : plan->layers) {
+      w.put(m.rounds);
+      w.put(m.passes);
+      w.put_u64(m.weight_beats);
+    }
+  }
+  for (const auto& l : net.layers) {
+    w.put(static_cast<std::uint32_t>(l.type));
+    w.put(static_cast<std::uint32_t>(l.name.size()));
+    w.put_bytes(l.name.data(), l.name.size());
+    w.put(l.in_ch);
+    w.put(l.in_w);
+    w.put(l.in_h);
+    w.put(l.out_ch);
+    w.put(l.kernel);
+    w.put(l.stride);
+    w.put(l.pad);
+    w.put_i32(l.lif.leak);
+    w.put_i32(l.lif.v_th);
+    w.put(static_cast<std::uint32_t>(l.lif.leak_mode));
+    w.put(static_cast<std::uint32_t>(l.lif.reset_mode));
+    w.put_f64(l.scale);
+    w.put(static_cast<std::uint32_t>(l.weights.size()));
+    w.put_bytes(l.weights.data(), l.weights.size());
+  }
+  std::uint32_t checksum = kFnvBasis;
+  for (const std::uint32_t word : w.words) checksum = fnv_step(checksum, word);
+  w.put(checksum);
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw ConfigError("cannot open for writing: " + path);
+  f.write(reinterpret_cast<const char*>(w.words.data()),
+          static_cast<std::streamsize>(w.words.size() * sizeof(std::uint32_t)));
+  if (!f) throw ConfigError("write failed: " + path);
+}
+
+ModelCheckpoint load_model(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw ConfigError("cannot open for reading: " + path);
+  Reader r{f, path};
+  if (r.get() != kCheckpointMagic)
+    throw ConfigError("bad checkpoint magic in " + path);
+  const std::uint32_t version = r.get();
+  if (version != kCheckpointVersion)
+    throw ConfigError("unsupported checkpoint version " +
+                      std::to_string(version) + " in " + path);
+  const std::uint32_t layer_count = r.get();
+  if (layer_count == 0 || layer_count > kMaxLayers)
+    throw ConfigError("implausible layer count in " + path);
+  const std::uint32_t flags = r.get();
+  if (flags > 1) throw ConfigError("unknown checkpoint flags in " + path);
+
+  ModelCheckpoint ckpt;
+  if (flags & 1) {
+    CheckpointPlanMeta meta;
+    meta.num_slices = r.get();
+    meta.timesteps = static_cast<std::uint16_t>(r.get());
+    meta.layers.resize(layer_count);
+    for (auto& m : meta.layers) {
+      m.rounds = r.get();
+      m.passes = r.get();
+      m.weight_beats = r.get_u64();
+    }
+    ckpt.plan = std::move(meta);
+  }
+  ckpt.net.layers.resize(layer_count);
+  for (auto& l : ckpt.net.layers) {
+    const std::uint32_t type = r.get();
+    if (type > static_cast<std::uint32_t>(ecnn::LayerSpec::Type::kFc))
+      throw ConfigError("invalid layer type in " + path);
+    l.type = static_cast<ecnn::LayerSpec::Type>(type);
+    const std::uint32_t name_len = r.get();
+    if (name_len > kMaxNameLen)
+      throw ConfigError("implausible layer-name length in " + path);
+    l.name.resize(name_len);
+    r.get_bytes(l.name.data(), name_len);
+    l.in_ch = static_cast<std::uint16_t>(r.get());
+    l.in_w = static_cast<std::uint16_t>(r.get());
+    l.in_h = static_cast<std::uint16_t>(r.get());
+    l.out_ch = static_cast<std::uint16_t>(r.get());
+    l.kernel = static_cast<std::uint8_t>(r.get());
+    l.stride = static_cast<std::uint8_t>(r.get());
+    l.pad = static_cast<std::uint8_t>(r.get());
+    l.lif.leak = r.get_i32();
+    l.lif.v_th = r.get_i32();
+    const std::uint32_t leak_mode = r.get();
+    if (leak_mode > static_cast<std::uint32_t>(neuron::LeakMode::kSubtractive))
+      throw ConfigError("invalid leak mode in " + path);
+    l.lif.leak_mode = static_cast<neuron::LeakMode>(leak_mode);
+    const std::uint32_t reset_mode = r.get();
+    if (reset_mode >
+        static_cast<std::uint32_t>(neuron::ResetMode::kSubtractThreshold))
+      throw ConfigError("invalid reset mode in " + path);
+    l.lif.reset_mode = static_cast<neuron::ResetMode>(reset_mode);
+    l.scale = r.get_f64();
+    const std::uint32_t weight_count = r.get();
+    if (weight_count > kMaxWeights)
+      throw ConfigError("implausible weight count in " + path);
+    l.weights.resize(weight_count);
+    r.get_bytes(l.weights.data(), weight_count);
+  }
+  const std::uint32_t computed = r.checksum;
+  std::uint32_t stored = 0;
+  if (!f.read(reinterpret_cast<char*>(&stored), sizeof stored))
+    throw ConfigError("truncated checkpoint: " + path);
+  if (stored != computed)
+    throw ConfigError("checkpoint checksum mismatch in " + path);
+  if (f.peek() != std::ifstream::traits_type::eof())
+    throw ConfigError("trailing bytes after checkpoint in " + path);
+  return ckpt;
+}
+
+}  // namespace sne::serve

@@ -1,0 +1,74 @@
+// Model checkpoints: binary save/load of a quantized network plus the
+// mapper-plan summary a deployment target can sanity-check against.
+//
+// The on-disk format follows event_io.h's conventions (little-endian 32-bit
+// words behind a magic) but is versioned and self-checking: a word count is
+// implied by the content, every load re-verifies an order-sensitive FNV-1a
+// checksum and range-checks every enum/length field, and truncated or
+// overlong files are rejected instead of yielding a partial network.
+// Layout (all u32 words):
+//
+//   magic "SNEM" | version | layer_count | flags
+//   [flags bit 0: plan metadata]
+//     num_slices | timesteps | per layer: rounds, passes, weight_beats(2)
+//   [per layer]
+//     type | name_len | name bytes (word-padded)
+//     in_ch in_w in_h out_ch kernel stride pad
+//     leak v_th leak_mode reset_mode | scale (f64, 2 words)
+//     weight_count | weight codes (4 int8 per word)
+//   checksum (word-wise FNV-1a over every preceding word)
+//
+// Checkpoints round-trip a QuantizedNetwork *exactly* (weights, LIF
+// parameters, the double-precision scale bit for bit); test_serve pins it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "ecnn/quantized.h"
+
+namespace sne::serve {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4D454E53;  // "SNEM"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Per-layer summary of the mapper's plan at the checkpoint's design point.
+struct LayerPlanMeta {
+  std::uint32_t rounds = 0;        ///< stream replays (mapper rounds)
+  std::uint32_t passes = 0;        ///< total slice passes over all rounds
+  std::uint64_t weight_beats = 0;  ///< WLOAD programming volume
+};
+
+/// Deployment metadata stored alongside the weights: the design point the
+/// plan was computed for and the per-layer round/pass counts. A loader can
+/// compare this against its own mapper output to detect a checkpoint that
+/// was planned for a different slice count before serving traffic with it.
+struct CheckpointPlanMeta {
+  std::uint32_t num_slices = 0;
+  std::uint16_t timesteps = 0;
+  std::vector<LayerPlanMeta> layers;
+};
+
+/// Computes the plan metadata for `net` on design point `hw`.
+CheckpointPlanMeta plan_metadata(const ecnn::QuantizedNetwork& net,
+                                 const core::SneConfig& hw,
+                                 std::uint16_t timesteps);
+
+struct ModelCheckpoint {
+  ecnn::QuantizedNetwork net;
+  std::optional<CheckpointPlanMeta> plan;
+};
+
+/// Writes `net` (and optionally its plan summary) to `path`.
+void save_model(const ecnn::QuantizedNetwork& net, const std::string& path,
+                const CheckpointPlanMeta* plan = nullptr);
+
+/// Loads a checkpoint written by save_model. Throws ConfigError on missing
+/// files, bad magic/version, field corruption (checksum), truncation, or
+/// trailing bytes.
+ModelCheckpoint load_model(const std::string& path);
+
+}  // namespace sne::serve

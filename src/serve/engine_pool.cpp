@@ -1,0 +1,79 @@
+#include "serve/engine_pool.h"
+
+namespace sne::serve {
+
+EnginePool::EnginePool(core::SneConfig hw, unsigned warm_engines,
+                       EnginePoolOptions opts)
+    : hw_(hw), opts_(opts) {
+  hw_.validate();
+  if (opts_.max_engines > 0 && warm_engines > opts_.max_engines)
+    throw ConfigError("warm_engines exceeds the engine-pool cap");
+  for (unsigned i = 0; i < warm_engines; ++i) {
+    entries_.push_back(build_entry());
+    free_.push_back(entries_.back().get());
+  }
+}
+
+std::unique_ptr<EnginePool::Entry> EnginePool::build_entry() const {
+  auto entry = std::make_unique<Entry>();
+  entry->engine = std::make_unique<core::SneEngine>(hw_, opts_.memory_words,
+                                                    opts_.mem_timing);
+  entry->runner = std::make_unique<ecnn::NetworkRunner>(
+      *entry->engine, opts_.use_wload_stream);
+  return entry;
+}
+
+EnginePool::Entry* EnginePool::acquire_entry() {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    if (!free_.empty()) {
+      Entry* e = free_.back();
+      free_.pop_back();
+      ++leases_;
+      return e;
+    }
+    if (opts_.max_engines == 0 ||
+        entries_.size() + building_ < opts_.max_engines) {
+      // Construct outside the lock: the multi-MB memory-model clear must not
+      // serialize concurrent first-touch acquires.
+      ++building_;
+      lk.unlock();
+      std::unique_ptr<Entry> entry;
+      try {
+        entry = build_entry();
+      } catch (...) {
+        // Give the capacity slot back, or a capped pool would deadlock every
+        // later acquire on a construction that will never finish.
+        lk.lock();
+        --building_;
+        cv_.notify_one();
+        throw;
+      }
+      lk.lock();
+      --building_;
+      entries_.push_back(std::move(entry));
+      ++leases_;
+      return entries_.back().get();
+    }
+    cv_.wait(lk);
+  }
+}
+
+void EnginePool::release_entry(Entry* entry) {
+  // Reset on release (not on acquire): the lease boundary is where the
+  // request's state stops being interesting, and the next acquire starts on
+  // an engine already indistinguishable from new.
+  entry->engine->reset();
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    free_.push_back(entry);
+  }
+  cv_.notify_one();
+}
+
+EnginePool::Stats EnginePool::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return Stats{entries_.size() + building_, leases_};
+}
+
+}  // namespace sne::serve

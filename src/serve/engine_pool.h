@@ -1,0 +1,107 @@
+// EnginePool: resident, reusable cycle-accurate engines for serving.
+//
+// Constructing an SneEngine is the expensive part of a request: the external
+// memory model alone is a multi-MB zero-fill (16 MB at the default 2^22
+// words), dwarfing the simulation of a small sample. The pool keeps engines
+// (plus their NetworkRunner front-ends) alive across requests and hands them
+// out as RAII leases; on release the engine is reset() — which restores the
+// freshly-constructed machine state without touching memory contents — so a
+// leased engine produces bitwise-identical results to a brand-new one
+// (test_serve pins this for any lease interleaving).
+//
+// The pool grows on demand up to `max_engines` (0 = unbounded); engines are
+// constructed outside the pool lock so concurrent first-touch acquires do
+// not serialize their memory-model clears.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "ecnn/runner.h"
+#include "hwsim/memory.h"
+
+namespace sne::serve {
+
+struct EnginePoolOptions {
+  std::size_t memory_words = (1u << 22);  ///< per-engine external memory
+  hwsim::MemoryTiming mem_timing{};       ///< per-engine memory timing
+  bool use_wload_stream = false;          ///< see ecnn::NetworkRunner
+  /// Hard cap on resident engines; acquire() blocks when every engine is
+  /// leased out and the cap is reached. 0 = grow without bound.
+  unsigned max_engines = 0;
+};
+
+class EnginePool {
+  struct Entry {
+    std::unique_ptr<core::SneEngine> engine;
+    std::unique_ptr<ecnn::NetworkRunner> runner;
+  };
+
+ public:
+  /// `warm_engines` are constructed eagerly (a server fronting traffic pays
+  /// construction at startup, not on the first requests).
+  EnginePool(core::SneConfig hw, unsigned warm_engines,
+             EnginePoolOptions opts = {});
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  /// Exclusive hold of one pooled engine; releases (and resets) on
+  /// destruction.
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept : pool_(o.pool_), entry_(o.entry_) {
+      o.pool_ = nullptr;
+      o.entry_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_) pool_->release_entry(entry_);
+    }
+
+    core::SneEngine& engine() { return *entry_->engine; }
+    ecnn::NetworkRunner& runner() { return *entry_->runner; }
+
+   private:
+    friend class EnginePool;
+    Lease(EnginePool* pool, Entry* entry) : pool_(pool), entry_(entry) {}
+    EnginePool* pool_;
+    Entry* entry_;
+  };
+
+  /// Blocks until an engine is free (or can be constructed under the cap).
+  Lease acquire() { return Lease(this, acquire_entry()); }
+
+  struct Stats {
+    std::uint64_t constructed = 0;  ///< engines built over the pool lifetime
+    std::uint64_t leases = 0;       ///< acquire() calls served
+  };
+  Stats stats() const;
+
+  const core::SneConfig& hw() const { return hw_; }
+  const EnginePoolOptions& options() const { return opts_; }
+
+ private:
+  Entry* acquire_entry();
+  void release_entry(Entry* entry);
+  std::unique_ptr<Entry> build_entry() const;
+
+  core::SneConfig hw_;
+  EnginePoolOptions opts_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< stable addresses
+  std::vector<Entry*> free_;
+  unsigned building_ = 0;  ///< constructions in flight outside the lock
+  std::uint64_t leases_ = 0;
+};
+
+}  // namespace sne::serve

@@ -1,0 +1,138 @@
+#include "serve/pipeline.h"
+
+#include <chrono>
+
+#include "common/contracts.h"
+
+namespace sne::serve {
+
+PipelineDeployment::PipelineDeployment(core::SneConfig hw,
+                                       ecnn::QuantizedNetwork net,
+                                       PipelineOptions opts)
+    : hw_(hw),
+      net_(std::move(net)),
+      opts_(opts),
+      pool_(hw_, 0,
+            EnginePoolOptions{opts.memory_words, opts.mem_timing,
+                              opts.use_wload_stream, /*max_engines=*/0}) {
+  hw_.validate();
+  SNE_EXPECTS(!net_.layers.empty());
+  if (opts_.mem_timing.stall_probability > 0.0)
+    throw ConfigError(
+        "pipelined sharding requires deterministic memory timing "
+        "(stall_probability == 0): contention-RNG draws are a whole-engine "
+        "sequence the per-stage replay cannot reproduce");
+
+  // Contiguous near-even split of the layer list over the stages.
+  const std::size_t layers = net_.layers.size();
+  std::size_t stages = opts_.stages == 0 ? layers : opts_.stages;
+  if (stages > layers) stages = layers;
+  const std::size_t base = layers / stages;
+  const std::size_t rem = layers % stages;
+  std::size_t first = 0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t count = base + (s < rem ? 1 : 0);
+    ranges_.emplace_back(first, first + count);
+    first += count;
+  }
+
+  queues_.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s)
+    queues_.push_back(
+        std::make_unique<BoundedQueue<JobPtr>>(opts_.queue_capacity));
+  stage_threads_.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s)
+    stage_threads_.emplace_back([this, s] { stage_loop(s); });
+}
+
+PipelineDeployment::~PipelineDeployment() {
+  // Stop admission; each stage closes its successor once it has drained, so
+  // every admitted job completes before the threads exit.
+  queues_.front()->close();
+  for (auto& t : stage_threads_) t.join();
+}
+
+Ticket PipelineDeployment::submit(event::EventStream input) {
+  auto job = std::make_unique<Job>();
+  job->input = std::move(input);
+  job->ticket = std::make_shared<detail::TicketState>();
+  job->submitted_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(submit_m_);
+    job->ticket->id = next_id_++;
+  }
+  const Ticket ticket{job->ticket};
+  if (!queues_.front()->push(std::move(job)))
+    throw ConfigError("submit on a shut-down pipeline deployment");
+  return ticket;
+}
+
+std::vector<ecnn::NetworkRunStats> PipelineDeployment::run(
+    const std::vector<event::EventStream>& inputs) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(inputs.size());
+  for (const auto& in : inputs) tickets.push_back(submit(in));
+  std::vector<ecnn::NetworkRunStats> results;
+  results.reserve(inputs.size());
+  for (const Ticket& t : tickets) results.push_back(t.wait());
+  return results;
+}
+
+void PipelineDeployment::stage_loop(std::size_t s) {
+  // Each stage owns one pooled engine for its whole lifetime; requests on
+  // the stage reset it, so every request sees a machine indistinguishable
+  // from new. Nothing may escape this thread function (std::terminate), so
+  // a failed engine construction is held and lands on every job's ticket
+  // instead.
+  std::optional<EnginePool::Lease> lease;
+  std::exception_ptr stage_error;
+  try {
+    lease.emplace(pool_.acquire());
+  } catch (...) {
+    stage_error = std::current_exception();
+  }
+  const auto [first, last] = ranges_[s];
+  const bool is_last = s + 1 == queues_.size();
+  for (;;) {
+    std::optional<JobPtr> popped = queues_[s]->pop();
+    if (!popped) break;  // closed and drained
+    JobPtr job = std::move(*popped);
+    if (!job->failed && stage_error) {
+      job->failed = true;
+      job->ticket->fail(stage_error, detail::ms_since(job->submitted_at));
+    }
+    if (!job->failed) {
+      try {
+        lease->engine().reset();
+        for (std::size_t li = first; li < last; ++li) {
+          const event::EventStream& cur = job->acc.layers.empty()
+                                              ? job->input
+                                              : job->acc.layers.back().output;
+          ecnn::LayerRunStats layer =
+              lease->runner().run_layer(net_.layers[li], cur, opts_.policy);
+          job->acc.total += layer.counters;
+          job->acc.cycles += layer.cycles;
+          job->acc.layers.push_back(std::move(layer));
+        }
+      } catch (...) {
+        job->failed = true;
+        job->ticket->fail(std::current_exception(),
+                          detail::ms_since(job->submitted_at));
+      }
+    }
+    if (is_last) {
+      if (!job->failed) {
+        job->acc.final_output = job->acc.layers.back().output;
+        job->ticket->fulfill(std::move(job->acc),
+                             detail::ms_since(job->submitted_at));
+      }
+    } else {
+      // Failed jobs still flow downstream (cheap: stages skip them) so the
+      // close-propagation order stays the only shutdown protocol.
+      queues_[s + 1]->push(std::move(job));
+    }
+  }
+  if (!is_last) queues_[s + 1]->close();
+}
+
+}  // namespace sne::serve

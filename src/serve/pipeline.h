@@ -1,0 +1,102 @@
+// PipelineDeployment: layer-sharded serving over multiple pooled engines.
+//
+// The paper's time-multiplexed mode (III-D.5) serializes a network layer by
+// layer on one engine; under serving load that leaves every other engine
+// idle while one request monopolizes the machine. This deployment productizes
+// the same tiling hook for throughput: consecutive layers are assigned to
+// *different* pooled engines (stage 0 owns layers [0,a), stage 1 owns [a,b),
+// ...) connected by bounded spike-stream queues, in the spirit of
+// distributed-llama's layer-sliced workers. Each stage still executes its
+// layers with the exact per-layer TM protocol of ecnn::NetworkRunner, so
+// while request i streams through stage 2, request i+1 occupies stage 1 and
+// request i+2 stage 0 — whole-network rounds overlap across requests instead
+// of serializing.
+//
+// Determinism: every stage resets its engine per request and every
+// SneEngine::run rewinds its arbitration state, so the per-layer runs are
+// bitwise identical to the ones the serial NetworkRunner would have done on
+// one engine — stage boundaries cannot be observed in the results. The
+// assembled NetworkRunStats (per-layer stats, counters, cycles, outputs) is
+// pinned sample-for-sample against the serial reference by test_serve.
+// Randomized memory-contention stalls are rejected at construction: their
+// RNG consumption order is a whole-engine property the sharded replay cannot
+// reproduce.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "ecnn/quantized.h"
+#include "ecnn/runner.h"
+#include "event/event_stream.h"
+#include "hwsim/memory.h"
+#include "serve/bounded_queue.h"
+#include "serve/engine_pool.h"
+#include "serve/ticket.h"
+
+namespace sne::serve {
+
+struct PipelineOptions {
+  /// Stage count; clamped to the layer count. 0 = one stage per layer.
+  unsigned stages = 0;
+  std::size_t queue_capacity = 4;  ///< per-stage bounded stream queue
+  bool use_wload_stream = false;
+  std::size_t memory_words = (1u << 22);
+  hwsim::MemoryTiming mem_timing{};  ///< stall_probability must be 0
+  event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly;
+};
+
+class PipelineDeployment {
+ public:
+  PipelineDeployment(core::SneConfig hw, ecnn::QuantizedNetwork net,
+                     PipelineOptions opts = {});
+  ~PipelineDeployment();
+
+  PipelineDeployment(const PipelineDeployment&) = delete;
+  PipelineDeployment& operator=(const PipelineDeployment&) = delete;
+
+  /// Admits one sample into stage 0 (blocking on stage backpressure).
+  Ticket submit(event::EventStream input);
+
+  /// Streams every input through the pipeline and returns results[i] for
+  /// inputs[i]. Results are bitwise identical to a serial NetworkRunner
+  /// loop — and to this deployment at any other stage count.
+  std::vector<ecnn::NetworkRunStats> run(
+      const std::vector<event::EventStream>& inputs);
+
+  unsigned stages() const { return static_cast<unsigned>(ranges_.size()); }
+  /// Half-open layer range [first, last) owned by each stage.
+  const std::vector<std::pair<std::size_t, std::size_t>>& stage_ranges()
+      const {
+    return ranges_;
+  }
+
+ private:
+  struct Job {
+    event::EventStream input;  ///< original sample (stage 0's input)
+    ecnn::NetworkRunStats acc;  ///< grows by one layer entry per layer
+    std::shared_ptr<detail::TicketState> ticket;
+    std::chrono::steady_clock::time_point submitted_at;
+    bool failed = false;
+  };
+  using JobPtr = std::unique_ptr<Job>;
+
+  void stage_loop(std::size_t s);
+
+  core::SneConfig hw_;
+  ecnn::QuantizedNetwork net_;
+  PipelineOptions opts_;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+  EnginePool pool_;
+  std::vector<std::unique_ptr<BoundedQueue<JobPtr>>> queues_;
+  std::vector<std::thread> stage_threads_;
+  std::uint64_t next_id_ = 1;
+  std::mutex submit_m_;
+};
+
+}  // namespace sne::serve

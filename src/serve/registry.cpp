@@ -1,0 +1,62 @@
+#include "serve/registry.h"
+
+#include "common/contracts.h"
+
+namespace sne::serve {
+
+ModelRegistry::ModelPtr ModelRegistry::put(
+    const std::string& name, ecnn::QuantizedNetwork net,
+    std::optional<CheckpointPlanMeta> plan) {
+  SNE_EXPECTS(!name.empty());
+  SNE_EXPECTS(!net.layers.empty());
+  auto model =
+      std::make_shared<const ecnn::QuantizedNetwork>(std::move(net));
+  std::lock_guard<std::mutex> lk(m_);
+  models_[name] = Entry{model, std::move(plan)};
+  return model;
+}
+
+ModelRegistry::ModelPtr ModelRegistry::load_file(const std::string& name,
+                                                 const std::string& path) {
+  ModelCheckpoint ckpt = load_model(path);
+  return put(name, std::move(ckpt.net), std::move(ckpt.plan));
+}
+
+ModelRegistry::ModelPtr ModelRegistry::get(const std::string& name) const {
+  ModelPtr p = find(name);
+  if (!p) throw ConfigError("unknown model: " + name);
+  return p;
+}
+
+ModelRegistry::ModelPtr ModelRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second.model;
+}
+
+std::optional<CheckpointPlanMeta> ModelRegistry::plan(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? std::nullopt : it->second.plan;
+}
+
+bool ModelRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, entry] : models_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return models_.size();
+}
+
+}  // namespace sne::serve

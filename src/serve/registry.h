@@ -1,0 +1,60 @@
+// ModelRegistry: named, resident models for the serving runtime.
+//
+// A production deployment keeps several networks loaded at once (A/B
+// variants, per-tenant models, staged rollouts) and routes each request by
+// model name. The registry owns immutable snapshots: models are stored as
+// shared_ptr<const QuantizedNetwork>, so a request dispatched against model
+// "v1" keeps executing "v1" even if the name is re-pointed or erased
+// mid-flight — the snapshot dies with its last in-flight request.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ecnn/quantized.h"
+#include "serve/checkpoint.h"
+
+namespace sne::serve {
+
+class ModelRegistry {
+ public:
+  using ModelPtr = std::shared_ptr<const ecnn::QuantizedNetwork>;
+
+  /// Registers (or replaces) `name`, returning the resident snapshot.
+  ModelPtr put(const std::string& name, ecnn::QuantizedNetwork net,
+               std::optional<CheckpointPlanMeta> plan = std::nullopt);
+
+  /// Loads a checkpoint from disk and registers it under `name`.
+  ModelPtr load_file(const std::string& name, const std::string& path);
+
+  /// Resident snapshot of `name`; throws ConfigError when unknown.
+  ModelPtr get(const std::string& name) const;
+
+  /// Resident snapshot of `name`, or nullptr when unknown.
+  ModelPtr find(const std::string& name) const;
+
+  /// Plan metadata recorded with the model (from its checkpoint or put()).
+  std::optional<CheckpointPlanMeta> plan(const std::string& name) const;
+
+  /// Removes `name`; in-flight requests keep their snapshot. Returns whether
+  /// the name existed.
+  bool erase(const std::string& name);
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    ModelPtr model;
+    std::optional<CheckpointPlanMeta> plan;
+  };
+
+  mutable std::mutex m_;
+  std::map<std::string, Entry> models_;
+};
+
+}  // namespace sne::serve

@@ -1,0 +1,201 @@
+#include "serve/server.h"
+
+#include <algorithm>
+
+namespace sne::serve {
+
+namespace {
+
+using detail::ms_since;
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(n) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const ModelRegistry& registry,
+                                 core::SneConfig hw, ServeOptions opts)
+    : registry_(registry),
+      hw_(hw),
+      opts_(opts),
+      pool_(hw, opts.reuse_engines ? opts.engines : 0,
+            EnginePoolOptions{opts.memory_words, opts.mem_timing,
+                              opts.use_wload_stream,
+                              /*max_engines=*/opts.engines}),
+      queue_(opts.queue_capacity),
+      started_at_(std::chrono::steady_clock::now()) {
+  hw_.validate();
+  if (opts_.engines == 0) throw ConfigError("server needs at least one engine");
+  workers_.reserve(opts_.engines);
+  for (unsigned i = 0; i < opts_.engines; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+InferenceServer::~InferenceServer() {
+  // Stop admission; workers drain everything already accepted (a fulfilled
+  // ticket for every admitted request), then exit on the closed queue.
+  queue_.close();
+  for (auto& t : workers_) t.join();
+}
+
+InferenceServer::Request InferenceServer::make_request(
+    const std::string& model, event::EventStream input) {
+  Request req;
+  req.model = registry_.get(model);  // throws on unknown models
+  req.input = std::move(input);
+  req.ticket = std::make_shared<detail::TicketState>();
+  req.submitted_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    req.ticket->id = next_id_++;
+  }
+  return req;
+}
+
+Ticket InferenceServer::submit(const std::string& model,
+                               event::EventStream input) {
+  Request req = make_request(model, std::move(input));
+  const Ticket ticket{req.ticket};
+  // Count *before* the push: once a request is in the queue it must be
+  // covered by submitted_, or drain() could observe completed == submitted
+  // while a pushed-but-uncounted request is still in flight.
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    ++submitted_;
+  }
+  if (!queue_.push(std::move(req))) {
+    {
+      std::lock_guard<std::mutex> lk(stats_m_);
+      --submitted_;
+    }
+    drained_cv_.notify_all();
+    throw ConfigError("submit on a shut-down server");
+  }
+  return ticket;
+}
+
+std::optional<Ticket> InferenceServer::try_submit(const std::string& model,
+                                                  event::EventStream input) {
+  Request req = make_request(model, std::move(input));
+  const Ticket ticket{req.ticket};
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    ++submitted_;
+  }
+  const auto pushed = queue_.try_push(req);
+  if (pushed != BoundedQueue<Request>::PushResult::kAccepted) {
+    {
+      std::lock_guard<std::mutex> lk(stats_m_);
+      --submitted_;
+      // Only genuine overload counts as a rejection; a closed queue is a
+      // caller error, reported like submit() so retry loops don't spin
+      // against a dead server.
+      if (pushed == BoundedQueue<Request>::PushResult::kFull) ++rejected_;
+    }
+    drained_cv_.notify_all();
+    if (pushed == BoundedQueue<Request>::PushResult::kClosed)
+      throw ConfigError("submit on a shut-down server");
+    return std::nullopt;
+  }
+  return ticket;
+}
+
+void InferenceServer::worker_loop() {
+  for (;;) {
+    std::optional<Request> req = queue_.pop();
+    if (!req) return;  // closed and drained
+    process(*req);
+  }
+}
+
+void InferenceServer::process(Request& req) {
+  ecnn::NetworkRunStats result;
+  std::exception_ptr error;
+  try {
+    if (opts_.reuse_engines) {
+      EnginePool::Lease lease = pool_.acquire();
+      result = lease.runner().run(*req.model, req.input, opts_.policy);
+    } else {
+      // Fresh-construct baseline: what serving costs without the pool.
+      core::SneEngine engine(hw_, opts_.memory_words, opts_.mem_timing);
+      ecnn::NetworkRunner runner(engine, opts_.use_wload_stream);
+      result = runner.run(*req.model, req.input, opts_.policy);
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const double lat_ms = ms_since(req.submitted_at);
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    if (error) {
+      ++failed_;
+    } else {
+      ++completed_;
+      total_sim_cycles_ += result.cycles;
+    }
+    // Bounded reservoir: exact until kLatencyReservoir completions, a
+    // uniform sample of the full history after.
+    ++latency_seen_;
+    if (latencies_ms_.size() < kLatencyReservoir) {
+      latencies_ms_.push_back(lat_ms);
+    } else {
+      const auto j = static_cast<std::uint64_t>(latency_rng_.uniform_int(
+          0, static_cast<std::int64_t>(latency_seen_) - 1));
+      if (j < kLatencyReservoir) latencies_ms_[j] = lat_ms;
+    }
+  }
+  if (error)
+    req.ticket->fail(error, lat_ms);
+  else
+    req.ticket->fulfill(std::move(result), lat_ms);
+  drained_cv_.notify_all();
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lk(stats_m_);
+  drained_cv_.wait(
+      lk, [this] { return completed_ + failed_ == submitted_; });
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  std::vector<double> lat;
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.rejected = rejected_;
+    s.total_sim_cycles = total_sim_cycles_;
+    lat = latencies_ms_;
+  }
+  s.queue_depth = queue_.size();
+  s.peak_queue_depth = queue_.peak();
+  s.elapsed_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started_at_)
+                    .count();
+  if (s.elapsed_s > 0.0)
+    s.throughput_rps = static_cast<double>(s.completed) / s.elapsed_s;
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    double sum = 0.0;
+    for (const double v : lat) sum += v;
+    s.latency_ms_mean = sum / static_cast<double>(lat.size());
+    s.latency_ms_p50 = percentile(lat, 0.50);
+    s.latency_ms_p90 = percentile(lat, 0.90);
+    s.latency_ms_p99 = percentile(lat, 0.99);
+  }
+  const EnginePool::Stats ps = pool_.stats();
+  s.engines_constructed = ps.constructed;
+  s.engine_leases = ps.leases;
+  return s;
+}
+
+}  // namespace sne::serve

@@ -1,0 +1,145 @@
+// InferenceServer: the async front door of the serving runtime.
+//
+//   ModelRegistry registry;            // named resident models
+//   registry.load_file("gesture", "model.snem");
+//   InferenceServer server(registry, hw, opts);
+//   Ticket t = server.submit("gesture", stream);   // returns immediately
+//   const NetworkRunStats& r = t.wait();
+//
+// Requests enter a *bounded* admission queue (submit blocks on overload,
+// try_submit rejects — both are load-shedding policies a fronting RPC layer
+// can build on) and are dispatched by a fixed set of worker threads onto the
+// engine pool. The model name is resolved to an immutable snapshot at
+// submission, so re-pointing a name mid-flight never mixes weights within a
+// request.
+//
+// Determinism: a request's NetworkRunStats depends only on (model, input) —
+// never on the worker that ran it, the engine it happened to lease, the
+// submission order, or what ran on that engine before (pooled engines are
+// reset between requests, and every run rewinds its arbitration state).
+// test_serve pins served results bitwise against the serial
+// BatchRunner::run_one reference for shuffled submission orders and every
+// worker count.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "ecnn/runner.h"
+#include "event/event_stream.h"
+#include "hwsim/memory.h"
+#include "serve/bounded_queue.h"
+#include "serve/engine_pool.h"
+#include "serve/registry.h"
+#include "serve/ticket.h"
+
+namespace sne::serve {
+
+struct ServeOptions {
+  unsigned engines = 2;             ///< dispatch workers == pooled engines
+  std::size_t queue_capacity = 64;  ///< bounded admission queue
+  /// false: every request constructs a fresh engine instead of leasing from
+  /// the pool. Results are identical either way; this is the A/B knob
+  /// BM_ServeThroughput uses to price per-request construction.
+  bool reuse_engines = true;
+  bool use_wload_stream = false;
+  std::size_t memory_words = (1u << 22);
+  hwsim::MemoryTiming mem_timing{};
+  event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly;
+};
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;    ///< completed with an exception on the ticket
+  std::uint64_t rejected = 0;  ///< try_submit refusals (queue full)
+  std::size_t queue_depth = 0;
+  std::size_t peak_queue_depth = 0;
+  double elapsed_s = 0.0;         ///< since server construction
+  double throughput_rps = 0.0;    ///< completed / elapsed
+  /// Latency (submit -> completion wall time) statistics, computed over a
+  /// bounded reservoir sample of completions (exact until the reservoir
+  /// fills, uniformly sampled after), so a long-running server holds O(1)
+  /// latency state no matter how many requests it has served.
+  double latency_ms_mean = 0.0;
+  double latency_ms_p50 = 0.0;
+  double latency_ms_p90 = 0.0;
+  double latency_ms_p99 = 0.0;
+  std::uint64_t total_sim_cycles = 0;  ///< simulated cycles over completions
+  std::uint64_t engines_constructed = 0;
+  std::uint64_t engine_leases = 0;  ///< leases - constructed = reuses
+};
+
+class InferenceServer {
+ public:
+  /// The registry is borrowed and must outlive the server; models registered
+  /// after construction are immediately servable.
+  InferenceServer(const ModelRegistry& registry, core::SneConfig hw,
+                  ServeOptions opts = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Admits a request, blocking while the queue is full. Throws ConfigError
+  /// when the model is unknown or the server is shutting down.
+  Ticket submit(const std::string& model, event::EventStream input);
+
+  /// Non-blocking admission: nullopt (and a `rejected` tick) when the queue
+  /// is full. Throws ConfigError when the model is unknown or the server is
+  /// shutting down (shutdown is not overload; retry loops must not spin).
+  std::optional<Ticket> try_submit(const std::string& model,
+                                   event::EventStream input);
+
+  /// Blocks until every admitted request has completed.
+  void drain();
+
+  ServerStats stats() const;
+
+  const core::SneConfig& hw() const { return hw_; }
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  struct Request {
+    ModelRegistry::ModelPtr model;
+    event::EventStream input;
+    std::shared_ptr<detail::TicketState> ticket;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  Request make_request(const std::string& model, event::EventStream input);
+  void worker_loop();
+  void process(Request& req);
+
+  const ModelRegistry& registry_;
+  core::SneConfig hw_;
+  ServeOptions opts_;
+  EnginePool pool_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point started_at_;
+
+  mutable std::mutex stats_m_;
+  std::condition_variable drained_cv_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t total_sim_cycles_ = 0;
+  /// Bounded latency reservoir (classic reservoir sampling over all
+  /// completions; kLatencyReservoir entries max).
+  static constexpr std::size_t kLatencyReservoir = 4096;
+  std::vector<double> latencies_ms_;
+  std::uint64_t latency_seen_ = 0;
+  Rng latency_rng_{0x5EEDF00Dull};
+};
+
+}  // namespace sne::serve

@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "common/rng.h"
 #include "event/event.h"
@@ -174,6 +177,47 @@ TEST(EventIo, RejectsBadMagic) {
     f.write(reinterpret_cast<const char*>(&junk), 4);
   }
   EXPECT_THROW(load_stream(path), ConfigError);
+  std::remove(path.c_str());
+}
+
+TEST(EventIo, RejectsTruncatedAndOverlongFiles) {
+  EventStream s(StreamGeometry{1, 8, 8, 4});
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i)
+    s.push_update(static_cast<std::uint16_t>(rng.uniform_int(0, 3)), 0,
+                  static_cast<std::uint8_t>(rng.uniform_int(0, 7)),
+                  static_cast<std::uint8_t>(rng.uniform_int(0, 7)));
+  s.normalize();
+  const std::string path = "/tmp/sne_stream_corrupt.bin";
+  save_stream(s, path);
+  std::string good;
+  {
+    std::ifstream f(path, std::ios::binary);
+    good.assign(std::istreambuf_iterator<char>(f),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(good.size(), (6 + s.size()) * 4);
+
+  const auto rewrite = [&path](const std::string& bytes) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  // Any truncation — mid-header, at the count word, mid-beats, or one word
+  // short — must throw instead of yielding a partial stream.
+  for (const std::size_t cut :
+       {std::size_t{2}, std::size_t{12}, std::size_t{23}, good.size() / 2,
+        good.size() - 4, good.size() - 1}) {
+    rewrite(good.substr(0, cut));
+    EXPECT_THROW(load_stream(path), ConfigError) << "cut at " << cut;
+  }
+  // Trailing bytes (e.g. two concatenated recordings) are rejected too.
+  rewrite(good + std::string(4, '\7'));
+  EXPECT_THROW(load_stream(path), ConfigError);
+  rewrite(good + std::string(1, '\0'));
+  EXPECT_THROW(load_stream(path), ConfigError);
+  // The pristine bytes still round-trip.
+  rewrite(good);
+  EXPECT_EQ(load_stream(path), s);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,522 @@
+// Serving-runtime regression suite (sne::serve).
+//
+// The serving contract is strict bitwise determinism: a request's
+// NetworkRunStats depends only on (model, input) — never on which pooled
+// engine ran it, what ran on that engine before, the worker/engine count,
+// the submission order, or whether the network was sharded across pipeline
+// stages. Every test here compares served results against the serial
+// fresh-engine reference (BatchRunner::run_one / NetworkRunner) with the
+// same equality the fast-forward suite uses: cycles, every ActivityCounters
+// field, and exact output event sequences.
+//
+// Also covered: model checkpoints (exact round-trip, corruption rejection),
+// the model registry, and engine reset (a reset engine is indistinguishable
+// from a new one, including the memory contention-stall RNG).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/batch_runner.h"
+#include "ecnn/runner.h"
+#include "serve/checkpoint.h"
+#include "serve/engine_pool.h"
+#include "serve/pipeline.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "test_util.h"
+
+namespace sne {
+namespace {
+
+using core::SneConfig;
+using core::SneEngine;
+using ecnn::NetworkRunner;
+using ecnn::NetworkRunStats;
+using ecnn::QuantizedLayerSpec;
+using ecnn::QuantizedNetwork;
+
+QuantizedLayerSpec conv_layer(std::uint16_t in_ch, std::uint16_t size,
+                              std::uint16_t out_ch, std::int32_t v_th,
+                              std::uint64_t seed) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kConv;
+  l.name = "conv";
+  l.in_ch = in_ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = out_ch;
+  l.kernel = 3;
+  l.stride = 1;
+  l.pad = 1;
+  l.weights.resize(static_cast<std::size_t>(out_ch) * in_ch * 9);
+  Rng rng(seed);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-4, 7));
+  l.lif.v_th = v_th;
+  l.lif.leak = 1;
+  return l;
+}
+
+QuantizedLayerSpec pool_layer(std::uint16_t ch, std::uint16_t size) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kPool;
+  l.name = "pool";
+  l.in_ch = ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = ch;
+  l.kernel = 2;
+  l.stride = 2;
+  l.pad = 0;
+  l.lif.v_th = 0;
+  l.lif.leak = 0;
+  return l;
+}
+
+QuantizedLayerSpec fc_layer(std::uint16_t in_ch, std::uint16_t size,
+                            std::uint16_t outputs, std::uint64_t seed) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kFc;
+  l.name = "fc";
+  l.in_ch = in_ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = outputs;
+  l.weights.resize(static_cast<std::size_t>(outputs) * l.in_flat());
+  Rng rng(seed);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-7, 7));
+  l.lif.v_th = 6;
+  l.lif.leak = 1;
+  return l;
+}
+
+/// conv -> pool -> fc chain (the pipeline-sharding workload). The conv's
+/// out_ch fills more than one slice on a 2-slice design point, so rounds
+/// with *concurrent* slice passes — where collector arbitration order is
+/// observable — are part of every test that uses it.
+QuantizedNetwork three_layer_net() {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 8, 4, 11));
+  net.layers.push_back(pool_layer(8, 16));
+  net.layers.push_back(fc_layer(8, 8, 10, 13));
+  return net;
+}
+
+void expect_equivalent(const NetworkRunStats& ref, const NetworkRunStats& got) {
+  EXPECT_EQ(ref.cycles, got.cycles);
+  EXPECT_TRUE(ref.total == got.total)
+      << "counters diverge:\nref: " << ref.total << "\ngot: " << got.total;
+  ASSERT_EQ(ref.layers.size(), got.layers.size());
+  for (std::size_t i = 0; i < ref.layers.size(); ++i) {
+    EXPECT_EQ(ref.layers[i].cycles, got.layers[i].cycles) << "layer " << i;
+    EXPECT_EQ(ref.layers[i].rounds, got.layers[i].rounds) << "layer " << i;
+    EXPECT_EQ(ref.layers[i].input_events, got.layers[i].input_events)
+        << "layer " << i;
+    EXPECT_TRUE(ref.layers[i].counters == got.layers[i].counters)
+        << "layer " << i;
+    // Exact event sequence, not just the canonical spike set.
+    EXPECT_TRUE(ref.layers[i].output == got.layers[i].output) << "layer " << i;
+  }
+  EXPECT_TRUE(ref.final_output == got.final_output);
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- checkpoints -------------------------------------------------------------
+
+TEST(CheckpointTest, RoundTripIsExact) {
+  QuantizedNetwork net = three_layer_net();
+  // Exercise the non-default neuron modes and a non-trivial scale too.
+  net.layers[0].lif.leak_mode = neuron::LeakMode::kSubtractive;
+  net.layers[2].lif.reset_mode = neuron::ResetMode::kSubtractThreshold;
+  net.layers[0].scale = 0.12345678901234567;
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  const serve::CheckpointPlanMeta meta = serve::plan_metadata(net, hw, 12);
+
+  const std::string path = temp_path("ckpt_roundtrip.snem");
+  serve::save_model(net, path, &meta);
+  const serve::ModelCheckpoint loaded = serve::load_model(path);
+
+  ASSERT_EQ(loaded.net.layers.size(), net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const auto& a = net.layers[i];
+    const auto& b = loaded.net.layers[i];
+    EXPECT_EQ(a.type, b.type) << i;
+    EXPECT_EQ(a.name, b.name) << i;
+    EXPECT_EQ(a.in_ch, b.in_ch) << i;
+    EXPECT_EQ(a.in_w, b.in_w) << i;
+    EXPECT_EQ(a.in_h, b.in_h) << i;
+    EXPECT_EQ(a.out_ch, b.out_ch) << i;
+    EXPECT_EQ(a.kernel, b.kernel) << i;
+    EXPECT_EQ(a.stride, b.stride) << i;
+    EXPECT_EQ(a.pad, b.pad) << i;
+    EXPECT_EQ(a.lif.leak, b.lif.leak) << i;
+    EXPECT_EQ(a.lif.v_th, b.lif.v_th) << i;
+    EXPECT_EQ(a.lif.leak_mode, b.lif.leak_mode) << i;
+    EXPECT_EQ(a.lif.reset_mode, b.lif.reset_mode) << i;
+    // Bit-exact double round-trip, not approximate.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.scale),
+              std::bit_cast<std::uint64_t>(b.scale))
+        << i;
+    EXPECT_EQ(a.weights, b.weights) << i;
+  }
+  ASSERT_TRUE(loaded.plan.has_value());
+  EXPECT_EQ(loaded.plan->num_slices, meta.num_slices);
+  EXPECT_EQ(loaded.plan->timesteps, meta.timesteps);
+  ASSERT_EQ(loaded.plan->layers.size(), meta.layers.size());
+  for (std::size_t i = 0; i < meta.layers.size(); ++i) {
+    EXPECT_EQ(loaded.plan->layers[i].rounds, meta.layers[i].rounds) << i;
+    EXPECT_EQ(loaded.plan->layers[i].passes, meta.layers[i].passes) << i;
+    EXPECT_EQ(loaded.plan->layers[i].weight_beats, meta.layers[i].weight_beats)
+        << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsCorruption) {
+  const QuantizedNetwork net = three_layer_net();
+  const std::string path = temp_path("ckpt_corrupt.snem");
+  serve::save_model(net, path);
+  const std::string good = slurp(path);
+  ASSERT_GE(good.size(), 64u);
+
+  // Truncation at any prefix must throw, never yield a partial network.
+  for (const std::size_t cut : {std::size_t{3}, std::size_t{16},
+                                good.size() / 2, good.size() - 4}) {
+    spit(path, good.substr(0, cut));
+    EXPECT_THROW(serve::load_model(path), ConfigError) << "cut " << cut;
+  }
+  // Overlong files (trailing bytes) are rejected too.
+  spit(path, good + std::string(4, '\0'));
+  EXPECT_THROW(serve::load_model(path), ConfigError);
+  // Bad magic.
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    spit(path, bad);
+    EXPECT_THROW(serve::load_model(path), ConfigError);
+  }
+  // Unsupported version.
+  {
+    std::string bad = good;
+    bad[4] = static_cast<char>(bad[4] + 1);
+    spit(path, bad);
+    EXPECT_THROW(serve::load_model(path), ConfigError);
+  }
+  // A flipped payload byte fails the checksum.
+  {
+    std::string bad = good;
+    bad[good.size() / 2] = static_cast<char>(bad[good.size() / 2] ^ 0x40);
+    spit(path, bad);
+    EXPECT_THROW(serve::load_model(path), ConfigError);
+  }
+  // The pristine bytes still load.
+  spit(path, good);
+  EXPECT_NO_THROW(serve::load_model(path));
+  std::remove(path.c_str());
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(RegistryTest, NamedResidentModels) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_THROW(registry.get("missing"), ConfigError);
+  EXPECT_EQ(registry.find("missing"), nullptr);
+
+  registry.put("a", three_layer_net());
+  QuantizedNetwork single;
+  single.layers.push_back(conv_layer(1, 16, 2, 4, 21));
+  const auto b = registry.put("b", std::move(single));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.get("a")->layers.size(), 3u);
+  EXPECT_EQ(registry.get("b")->layers.size(), 1u);
+  const auto names = registry.names();
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "a") != names.end());
+
+  // Erase drops the name but in-flight snapshots stay alive.
+  EXPECT_TRUE(registry.erase("b"));
+  EXPECT_FALSE(registry.erase("b"));
+  EXPECT_EQ(registry.find("b"), nullptr);
+  EXPECT_EQ(b->layers.size(), 1u);  // snapshot still valid
+
+  // Checkpoint -> registry hand-off.
+  const std::string path = temp_path("ckpt_registry.snem");
+  serve::save_model(*registry.get("a"), path);
+  registry.load_file("a2", path);
+  EXPECT_EQ(registry.get("a2")->layers.size(), 3u);
+  std::remove(path.c_str());
+}
+
+// --- engine reset / pool -----------------------------------------------------
+
+TEST(EngineResetTest, ResetEngineMatchesFreshIncludingStallRng) {
+  const QuantizedNetwork net = three_layer_net();
+  const auto in = data::random_stream({1, 16, 16, 10}, 0.08, 31);
+  SneConfig hw = SneConfig::paper_design_point(2);
+  hwsim::MemoryTiming timing;
+  timing.stall_probability = 0.3;  // randomized contention: RNG state matters
+
+  SneEngine fresh(hw, 1u << 20, timing);
+  NetworkRunner fresh_runner(fresh, /*use_wload_stream=*/false);
+  const NetworkRunStats ref = fresh_runner.run(net, in);
+
+  SneEngine reused(hw, 1u << 20, timing);
+  NetworkRunner reused_runner(reused, /*use_wload_stream=*/false);
+  (void)reused_runner.run(net, in);  // dirty the engine (incl. RNG state)
+  reused.reset();
+  const NetworkRunStats again = reused_runner.run(net, in);
+  expect_equivalent(ref, again);
+}
+
+TEST(EnginePoolTest, LeasedEnginesAreBitwiseFresh) {
+  const QuantizedNetwork net = three_layer_net();
+  const auto in = data::random_stream({1, 16, 16, 10}, 0.08, 37);
+  const SneConfig hw = SneConfig::paper_design_point(2);
+
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  ecnn::BatchRunner batch(hw, net, bo);
+  const NetworkRunStats ref = batch.run_one(in);
+
+  serve::EnginePool pool(
+      hw, 1, serve::EnginePoolOptions{1u << 20, {}, false, /*max_engines=*/1});
+  for (int round = 0; round < 3; ++round) {
+    serve::EnginePool::Lease lease = pool.acquire();
+    expect_equivalent(ref, lease.runner().run(net, in));
+  }
+  const serve::EnginePool::Stats ps = pool.stats();
+  EXPECT_EQ(ps.constructed, 1u);  // one engine, reused every round
+  EXPECT_EQ(ps.leases, 3u);
+}
+
+TEST(BatchRunnerTest, PooledRunMatchesFreshUnderStallRng) {
+  const QuantizedNetwork net = three_layer_net();
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 400 + s));
+
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  bo.workers = 2;
+  bo.mem_timing.stall_probability = 0.2;  // reset must rewind the stall RNG
+  ecnn::BatchRunner runner(SneConfig::paper_design_point(2), net, bo);
+  const auto pooled = runner.run(inputs);
+  ASSERT_EQ(pooled.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    expect_equivalent(runner.run_one(inputs[i]), pooled[i]);
+}
+
+// --- async server ------------------------------------------------------------
+
+TEST(ServerTest, ServedResultsMatchSerialReferenceAnyEngineCountAnyOrder) {
+  serve::ModelRegistry registry;
+  registry.put("m", three_layer_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 8; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 500 + s));
+
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  ecnn::BatchRunner batch(hw, *registry.get("m"), bo);
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) ref.push_back(batch.run_one(in));
+
+  for (const unsigned engines : {1u, 2u, 4u}) {
+    serve::ServeOptions so;
+    so.engines = engines;
+    so.memory_words = 1u << 20;
+    serve::InferenceServer server(registry, hw, so);
+    // Reversed submission order: completion order and engine assignment are
+    // load-dependent, results must not be.
+    std::vector<serve::Ticket> tickets(inputs.size());
+    for (std::size_t i = inputs.size(); i-- > 0;)
+      tickets[i] = server.submit("m", inputs[i]);
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      expect_equivalent(ref[i], tickets[i].wait());
+
+    const serve::ServerStats st = server.stats();
+    EXPECT_EQ(st.submitted, inputs.size());
+    EXPECT_EQ(st.completed, inputs.size());
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_EQ(st.engine_leases, inputs.size());
+    EXPECT_LE(st.engines_constructed, engines);
+    EXPECT_GT(st.total_sim_cycles, 0u);
+    EXPECT_GE(st.latency_ms_p99, st.latency_ms_p50);
+  }
+}
+
+TEST(ServerTest, AdmissionAccountingAndUnknownModels) {
+  serve::ModelRegistry registry;
+  registry.put("m", three_layer_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::ServeOptions so;
+  so.engines = 1;
+  so.queue_capacity = 1;
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, hw, so);
+
+  EXPECT_THROW(server.submit("nope", data::random_stream({1, 16, 16, 4}, 0.1, 1)),
+               ConfigError);
+
+  const auto in = data::random_stream({1, 16, 16, 10}, 0.08, 600);
+  std::vector<serve::Ticket> accepted;
+  std::uint64_t rejections = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (auto t = server.try_submit("m", in))
+      accepted.push_back(std::move(*t));
+    else
+      ++rejections;
+  }
+  for (const auto& t : accepted) (void)t.wait();
+  server.drain();
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.submitted, accepted.size());
+  EXPECT_EQ(st.rejected, rejections);
+  EXPECT_EQ(st.completed + st.failed, st.submitted);
+  EXPECT_EQ(st.failed, 0u);
+}
+
+TEST(ServerTest, RequestFailureSurfacesOnTicketNotServer) {
+  serve::ModelRegistry registry;
+  registry.put("good", three_layer_net());
+  // Output map wider than the event address space: rejected inside the
+  // worker when the layer is programmed.
+  QuantizedNetwork bad;
+  bad.layers.push_back(conv_layer(1, 160, 1, 4, 5));
+  registry.put("bad", std::move(bad));
+
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::ServeOptions so;
+  so.engines = 1;
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, hw, so);
+
+  serve::Ticket t_bad =
+      server.submit("bad", data::random_stream({1, 160, 160, 2}, 0.02, 3));
+  serve::Ticket t_good =
+      server.submit("good", data::random_stream({1, 16, 16, 10}, 0.08, 4));
+  EXPECT_THROW(t_bad.wait(), ConfigError);
+  EXPECT_GT(t_good.wait().cycles, 0u);  // server survived the failure
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_EQ(st.completed, 1u);
+}
+
+// --- pipelined sharding ------------------------------------------------------
+
+TEST(PipelineTest, ShardedMatchesSerialAtEveryStageCount) {
+  const QuantizedNetwork net = three_layer_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 6; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 700 + s));
+
+  // Serial reference: one engine, whole network, fresh per sample.
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) {
+    SneEngine engine(hw, 1u << 20);
+    NetworkRunner runner(engine, /*use_wload_stream=*/false);
+    ref.push_back(runner.run(net, in));
+  }
+
+  for (const unsigned stages : {1u, 2u, 3u}) {
+    serve::PipelineOptions po;
+    po.stages = stages;
+    po.memory_words = 1u << 20;
+    serve::PipelineDeployment deployment(hw, net, po);
+    EXPECT_EQ(deployment.stages(), stages);
+    // Contiguous cover of the layer list.
+    std::size_t expect_first = 0;
+    for (const auto& [first, last] : deployment.stage_ranges()) {
+      EXPECT_EQ(first, expect_first);
+      EXPECT_LT(first, last);
+      expect_first = last;
+    }
+    EXPECT_EQ(expect_first, net.layers.size());
+
+    const auto results = deployment.run(inputs);
+    ASSERT_EQ(results.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      expect_equivalent(ref[i], results[i]);
+  }
+}
+
+TEST(PipelineTest, ConcurrentRequestsStreamThroughStages) {
+  const QuantizedNetwork net = three_layer_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::PipelineOptions po;
+  po.stages = 3;
+  po.queue_capacity = 2;
+  po.memory_words = 1u << 20;
+  serve::PipelineDeployment deployment(hw, net, po);
+
+  SneEngine engine(hw, 1u << 20);
+  NetworkRunner runner(engine, /*use_wload_stream=*/false);
+
+  std::vector<event::EventStream> inputs;
+  std::vector<serve::Ticket> tickets;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 800 + s));
+    tickets.push_back(deployment.submit(inputs.back()));
+  }
+  // Wait out of order; each result must still match its own sample.
+  for (std::size_t i = tickets.size(); i-- > 0;)
+    expect_equivalent(runner.run(net, inputs[i]), tickets[i].wait());
+}
+
+TEST(PipelineTest, WloadStreamProgrammingMatchesSerial) {
+  // The streamed WLOAD path runs extra engine.run()s per pass; sharding
+  // must reproduce those bit for bit too.
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 4, 4, 41));
+  net.layers.push_back(pool_layer(4, 16));
+  const SneConfig hw = SneConfig::paper_design_point(1);
+  const auto in = data::random_stream({1, 16, 16, 8}, 0.06, 900);
+
+  SneEngine engine(hw, 1u << 20);
+  NetworkRunner runner(engine, /*use_wload_stream=*/true);
+  const NetworkRunStats ref = runner.run(net, in);
+  ASSERT_GT(ref.total.weight_load_beats, 0u);
+
+  serve::PipelineOptions po;
+  po.stages = 2;
+  po.use_wload_stream = true;
+  po.memory_words = 1u << 20;
+  serve::PipelineDeployment deployment(hw, net, po);
+  const auto results = deployment.run({in});
+  ASSERT_EQ(results.size(), 1u);
+  expect_equivalent(ref, results[0]);
+}
+
+TEST(PipelineTest, RejectsRandomizedMemoryTiming) {
+  serve::PipelineOptions po;
+  po.mem_timing.stall_probability = 0.1;
+  EXPECT_THROW(serve::PipelineDeployment(SneConfig::paper_design_point(2),
+                                         three_layer_net(), po),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace sne
