@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: compare a fresh bench_json run to the committed baseline.
+
+Usage:
+    check_perf.py BASELINE.json CURRENT.json [--threshold 2.0] [--strict]
+
+Matches benchmarks by name and compares wall-clock (real_time — several
+benches use UseRealTime because worker threads shift work off the timing
+thread; for the rest real and cpu time agree on the 1-core CI box). Prints a
+markdown before/after table, appends it to $GITHUB_STEP_SUMMARY when set.
+
+Exit status:
+    0  everything within threshold (or warn-only mode, the default)
+    1  --strict and at least one benchmark regressed past the threshold
+    2  the current run is not an optimized build (sne_build_type != release)
+       — a deterministic configuration error, never timing noise.
+
+The threshold is deliberately generous and the default mode warn-only: the
+1-core CI box is too noisy for a hard wall-clock gate, but a silent 3x
+regression should at least be visible in the job summary.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def bench_times(doc):
+    """name -> (real_time_ns, reported_unit), skipping aggregate rows.
+
+    Times are normalized to nanoseconds so a benchmark whose ->Unit() changed
+    between the baseline and the current run still compares correctly.
+    """
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        out[b["name"]] = (float(b["real_time"]) * _UNIT_NS.get(unit, 1.0),
+                          unit)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="warn when current/baseline exceeds this (default 2.0)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on threshold violations instead of warning")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    # Build-type gate: the bench binary stamps sne_build_type itself (the
+    # stock library_build_type field describes the google-benchmark library,
+    # not the code under test).
+    build_type = current.get("context", {}).get("sne_build_type", "unknown")
+    if build_type != "release":
+        print(f"ERROR: current run is a '{build_type}' build of sne_core; "
+              "perf comparisons need -DCMAKE_BUILD_TYPE=Release")
+        return 2
+    base_build = baseline.get("context", {}).get("sne_build_type", "unknown")
+    if base_build != "release":
+        print(f"WARNING: committed baseline records sne_build_type="
+              f"'{base_build}' — regenerate it with the Release bench_json "
+              "target")
+
+    base = bench_times(baseline)
+    cur = bench_times(current)
+
+    rows = []
+    warned = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            rows.append((name, base[name], None, None, "GONE"))
+            continue
+        if name not in base:
+            rows.append((name, None, cur[name], None, "NEW"))
+            continue
+        b, c = base[name], cur[name]
+        ratio = c[0] / b[0] if b[0] > 0 else float("inf")
+        status = "OK"
+        if ratio > args.threshold:
+            status = "WARN"
+            warned += 1
+        rows.append((name, b, c, ratio, status))
+
+    def fmt(t):
+        if t is None:
+            return "-"
+        return f"{t[0] / _UNIT_NS.get(t[1], 1.0):.3f} {t[1]}"
+
+    lines = ["| benchmark | baseline | current | ratio | status |",
+             "|---|---:|---:|---:|---|"]
+    for name, b, c, ratio, status in rows:
+        r = "-" if ratio is None else f"{ratio:.2f}x"
+        mark = {"OK": "", "WARN": " :warning:", "NEW": "", "GONE": ""}[status]
+        lines.append(f"| `{name}` | {fmt(b)} | {fmt(c)} | {r} | {status}{mark} |")
+    lines.append("")
+    lines.append(f"threshold {args.threshold:.2f}x · {warned} warning(s) · "
+                 f"{'strict' if args.strict else 'warn-only'} mode · "
+                 f"sne_build_type={build_type}")
+    table = "\n".join(lines)
+
+    print(table)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("## Perf regression guard\n\n" + table + "\n")
+
+    if warned and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

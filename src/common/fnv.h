@@ -1,0 +1,24 @@
+// FNV-1a hashing primitives, shared by the checkpoint checksum (32-bit,
+// word-wise, order-sensitive — see serve/checkpoint.cpp) and the
+// weight-residency fingerprints of the warm serving path (64-bit — see
+// ecnn/runner.h). Folding is order-sensitive, so swapped or mutually
+// compensating corruption is caught where an additive sum would not be.
+#pragma once
+
+#include <cstdint>
+
+namespace sne {
+
+inline constexpr std::uint32_t kFnv32Basis = 2166136261u;
+inline constexpr std::uint32_t kFnv32Prime = 16777619u;
+inline constexpr std::uint32_t fnv32_step(std::uint32_t h, std::uint32_t v) {
+  return (h ^ v) * kFnv32Prime;
+}
+
+inline constexpr std::uint64_t kFnv64Basis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv64Prime = 1099511628211ull;
+inline constexpr std::uint64_t fnv64_step(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * kFnv64Prime;
+}
+
+}  // namespace sne

@@ -26,6 +26,7 @@ SneEngine::SneEngine(SneConfig cfg, std::size_t memory_words,
   out_region_base_ = memory_words / 2;
   out_region_words_ = (memory_words - out_region_base_) / cfg_.num_output_dmas;
   rebuild_route_index();
+  resident_tags_.assign(cfg_.num_slices, 0);
   drain_parts_.resize(cfg_.num_slices);
   drain_dmas_.resize(cfg_.num_output_dmas);
 }
@@ -47,7 +48,12 @@ void SneEngine::rebuild_route_index() {
 }
 
 void SneEngine::reset() {
-  for (auto& sl : slices_) sl.reset();
+  reset_machine_state();
+  scrub_programming();
+}
+
+void SneEngine::reset_machine_state() {
+  for (auto& sl : slices_) sl.reset_machine_state();
   in_dma_.reset();
   for (auto& dma : out_dmas_) dma.reset();
   collector_arb_.reset();
@@ -55,6 +61,11 @@ void SneEngine::reset() {
   routes_ = XbarRoutes::time_multiplexed(cfg_.num_slices);
   rebuild_route_index();
   total_ = hwsim::ActivityCounters{};
+}
+
+void SneEngine::scrub_programming() {
+  for (auto& sl : slices_) sl.scrub_programming();
+  std::fill(resident_tags_.begin(), resident_tags_.end(), 0);
 }
 
 SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,

@@ -72,9 +72,12 @@ class SneEngine {
     return slices_[i];
   }
 
-  /// Programs slice `i` for a layer pass.
+  /// Programs slice `i` for a layer pass. Drops the slice's residency tag:
+  /// whatever weights it held are no longer certified until the programmer
+  /// re-tags after loading the new image.
   void configure_slice(std::uint32_t i, const SliceConfig& cfg) {
     slice(i).configure(cfg);
+    resident_tags_[i] = 0;
   }
 
   /// Installs the C-XBAR route table for subsequent runs.
@@ -94,8 +97,53 @@ class SneEngine {
   /// reset() all subsequent runs are bitwise identical to the same runs on a
   /// new engine; the serving engine pool relies on this to reuse engines
   /// across requests instead of paying construction (the dominant cost: the
-  /// memory model's multi-MB zero-fill) per sample.
+  /// memory model's multi-MB zero-fill) per sample. Equivalent to
+  /// reset_machine_state() followed by scrub_programming().
   void reset();
+
+  /// Machine-state half of reset(): wipes run state (slice dynamics, DMA
+  /// FIFOs, arbitration, the stall RNG, routes, lifetime counters) while
+  /// keeping every slice's *programming* — configuration, weight store and
+  /// residency tags — resident. Cold runs on a machine-reset engine are
+  /// bitwise identical to runs on a new engine (every pass reconfigures its
+  /// slices; stale-configured slices are inert), while warm runs can skip
+  /// reprogramming via warm_rewind_slice(). The weight-resident serving path
+  /// releases pooled engines with this instead of reset().
+  void reset_machine_state();
+
+  /// Programming half of reset(): deconfigures every slice and drops all
+  /// residency tags. Weight stores go stale until the next configure.
+  void scrub_programming();
+
+  // --- weight residency ------------------------------------------------------
+  // The engine records, per slice, an opaque tag naming the programming
+  // (configuration + weight image) the slice currently holds — see
+  // ecnn::pass_residency_tag. configure_slice() invalidates the tag; the
+  // programmer re-tags after writing the weights. 0 means "untagged".
+
+  /// If `tag` is nonzero and matches slice `i`'s resident tag, rewinds the
+  /// slice's dynamic state exactly as configure() would and returns true:
+  /// the caller may skip reconfiguration and weight programming, and the
+  /// subsequent run is bitwise identical to the reprogrammed one. Returns
+  /// false (leaving the slice untouched) otherwise.
+  bool warm_rewind_slice(std::uint32_t i, std::uint64_t tag) {
+    SNE_EXPECTS(i < slices_.size());
+    if (tag == 0 || resident_tags_[i] != tag) return false;
+    slices_[i].rewind_for_pass();
+    return true;
+  }
+
+  /// Declares that slice `i` now holds the programming named by `tag`
+  /// (called after a successful configure + weight load).
+  void tag_resident_pass(std::uint32_t i, std::uint64_t tag) {
+    SNE_EXPECTS(i < slices_.size());
+    resident_tags_[i] = tag;
+  }
+
+  std::uint64_t resident_pass_tag(std::uint32_t i) const {
+    SNE_EXPECTS(i < slices_.size());
+    return resident_tags_[i];
+  }
 
   /// Loads `program` into external memory and executes it to quiescence.
   RunResult run(const std::vector<event::Beat>& program,
@@ -172,6 +220,9 @@ class SneEngine {
   hwsim::RoundRobinArbiter collector_arb_;
   XbarRoutes routes_;
   hwsim::ActivityCounters total_;
+  /// Per-slice residency tag of the programming the slice holds (0 = none);
+  /// survives reset_machine_state(), dropped by scrub_programming().
+  std::vector<std::uint64_t> resident_tags_;
   std::size_t out_region_base_ = 0;
   std::size_t out_region_words_ = 0;
 

@@ -68,18 +68,22 @@ void Slice::configure(const SliceConfig& cfg) {
         mapped_mask_[slot] |= 1ull << i;
         cluster_mapped_[i][slot >> 6] |= 1ull << (slot & 63);
       }
-  fire_mask_.clear();
-  fire_leaked_.clear();
   mapped_total_ = 0;
   for (std::uint64_t m : mapped_mask_)
     mapped_total_ += static_cast<std::uint64_t>(std::popcount(m));
-  // Membranes survive reconfiguration, so every neuron is a firing
-  // candidate until the first RST wipes the state.
-  for (auto& cl : clusters_) cl.armed = {~0ull, ~0ull, ~0ull, ~0ull};
   enabled_clusters_ = 0;
   for (const auto& m : cfg.clusters)
     if (m.enabled) ++enabled_clusters_;
   configured_ = true;
+  reset_pass_dynamic_state();
+}
+
+void Slice::reset_pass_dynamic_state() {
+  fire_mask_.clear();
+  fire_leaked_.clear();
+  // Membranes survive reconfiguration, so every neuron is a firing
+  // candidate until the first RST wipes the state.
+  for (auto& cl : clusters_) cl.armed = {~0ull, ~0ull, ~0ull, ~0ull};
   state_ = State::kIdle;
   sweep_pos_ = 0;
   write_phase_ = false;
@@ -95,18 +99,26 @@ void Slice::configure(const SliceConfig& cfg) {
   collector_arb_.reset();
 }
 
+void Slice::rewind_for_pass() {
+  SNE_EXPECTS(configured_);
+  reset_pass_dynamic_state();
+}
+
 void Slice::reset() {
-  configured_ = false;
-  cfg_ = SliceConfig{};
-  // weights_ is deliberately left as-is: configure() rebuilds the store per
-  // pass before any run can touch the slice, so wiping here would be paid on
-  // every lease release and then discarded.
+  reset_machine_state();
+  scrub_programming();
+}
+
+void Slice::reset_machine_state() {
   for (auto& cl : clusters_) {
     for (auto& n : cl.neurons) n.reset();
     cl.out_fifo.reset();
-    cl.map = ClusterMapping{};
     cl.enabled_for_event = false;
-    cl.armed = {};
+    // A configured slice re-arms like configure() would (the wiped membranes
+    // are a subset of "unknown"); a deconfigured one stays disarmed.
+    cl.armed = configured_ ? std::array<std::uint64_t, 4>{~0ull, ~0ull, ~0ull,
+                                                          ~0ull}
+                           : std::array<std::uint64_t, 4>{};
   }
   in_fifo_.reset();
   out_fifo_.reset();
@@ -122,11 +134,6 @@ void Slice::reset() {
   wload_remaining_ = 0;
   wload_set_ = 0;
   wload_group_ = 0;
-  fc_streamed_beats_ = 0;
-  update_len_lut_.clear();
-  mapped_mask_.clear();
-  cluster_mapped_.clear();
-  mapped_total_ = 0;
   fire_leaked_.clear();
   fire_mask_.clear();
   fired_any_ = false;
@@ -135,8 +142,25 @@ void Slice::reset() {
   ev_ox_ = Interval{};
   ev_oy_ = Interval{};
   ev_accepted_ = 0;
-  enabled_clusters_ = 0;
   ev_accepted_idx_ = {};
+}
+
+void Slice::scrub_programming() {
+  configured_ = false;
+  cfg_ = SliceConfig{};
+  // weights_ is deliberately left as-is: configure() rebuilds the store per
+  // pass before any run can touch the slice, so wiping here would be paid on
+  // every lease release and then discarded.
+  for (auto& cl : clusters_) {
+    cl.map = ClusterMapping{};
+    cl.armed = {};
+  }
+  fc_streamed_beats_ = 0;
+  update_len_lut_.clear();
+  mapped_mask_.clear();
+  cluster_mapped_.clear();
+  mapped_total_ = 0;
+  enabled_clusters_ = 0;
 }
 
 void Slice::tick(hwsim::ActivityCounters& c) {

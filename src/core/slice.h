@@ -76,8 +76,32 @@ class Slice {
   /// weight store is left stale — the next configure() rebuilds it per pass
   /// before anything can read it. The serving engine pool resets pooled
   /// engines between requests so a reused slice is indistinguishable from a
-  /// new one (pinned by test_serve).
+  /// new one (pinned by test_serve). Equivalent to reset_machine_state()
+  /// followed by scrub_programming().
   void reset();
+
+  /// Machine-state half of reset(): wipes everything a run mutates (neuron
+  /// membranes, FIFO contents and statistics, arbitration pointers, the
+  /// state machine and decode scratch) while keeping the *programming*
+  /// resident — cfg_, the weight store and every pass-constant derived
+  /// structure survive. A machine-reset slice is bitwise indistinguishable
+  /// from a fresh slice that configure()d the same pass and rewrote the same
+  /// weights, which is what lets warm serving skip reprogramming
+  /// (test_serve pins the equivalence).
+  void reset_machine_state();
+
+  /// Programming half of reset(): deconfigures the slice and drops the
+  /// pass-constant derived state. The weight store itself is left stale, as
+  /// in reset() — configure() rebuilds it before anything can read it.
+  void scrub_programming();
+
+  /// Warm-serving skip path: restores exactly the dynamic state configure()
+  /// restores (state machine, FIFO contents, arbitration pointer, armed
+  /// masks, FIRE caches) while leaving the programming in place. Calling
+  /// this instead of configure(cfg_) + rewriting the identical weight image
+  /// leaves the slice in bitwise-identical state; SneEngine::warm_rewind_slice
+  /// guards it with the residency tag.
+  void rewind_for_pass();
 
   /// Host-side bulk weight load (bypasses the streamed WLOAD path; tests
   /// cover the equivalence of both paths).
@@ -321,6 +345,12 @@ class Slice {
     kWeightLoad,
     kDrain,
   };
+
+  /// The dynamic-state block shared by configure() and rewind_for_pass():
+  /// FIRE caches, armed masks, the state machine, FIFO contents (statistics
+  /// kept) and the collector arbitration pointer. Single source of truth so
+  /// the warm skip path cannot drift from the configure path.
+  void reset_pass_dynamic_state();
 
   void decode(const event::Event& e, hwsim::ActivityCounters& c);
   void tick_update(hwsim::ActivityCounters& c);

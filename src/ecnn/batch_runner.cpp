@@ -10,11 +10,18 @@ BatchRunner::BatchRunner(core::SneConfig hw, QuantizedNetwork net,
     : hw_(hw), net_(std::move(net)), opts_(opts) {
   hw_.validate();
   SNE_EXPECTS(!net_.layers.empty());
+  if (opts_.weight_resident && opts_.use_wload_stream &&
+      opts_.mem_timing.stall_probability > 0.0)
+    throw ConfigError(
+        "weight-resident batch runs with streamed WLOAD programming require "
+        "deterministic memory timing (stall_probability == 0)");
   if (opts_.workers > 0) pool_ = std::make_unique<ThreadPool>(opts_.workers);
-  engines_ = std::make_unique<serve::EnginePool>(
+  engines_ = std::make_unique<EnginePool>(
       hw_, 0,
-      serve::EnginePoolOptions{opts_.memory_words, opts_.mem_timing,
-                               opts_.use_wload_stream, /*max_engines=*/0});
+      EnginePoolOptions{opts_.memory_words, opts_.mem_timing,
+                        opts_.use_wload_stream, /*max_engines=*/0,
+                        /*weight_resident=*/opts_.weight_resident});
+  if (opts_.weight_resident) model_fp_ = model_fingerprint(net_);
 }
 
 NetworkRunStats BatchRunner::run_one(const event::EventStream& input) const {
@@ -36,10 +43,12 @@ std::vector<NetworkRunStats> BatchRunner::run(
     Ctx& c = *static_cast<Ctx*>(p);
     // Pooled-reuse path: one resident engine per in-flight slot instead of
     // a construction (multi-MB memory clear) per sample; reset-on-release
-    // keeps this bitwise equal to the fresh-engine run_one reference.
-    serve::EnginePool::Lease lease = c.self->engines_->acquire();
+    // keeps this bitwise equal to the fresh-engine run_one reference (or
+    // relaxed-tier equal when weight residency is opted in).
+    EnginePool::Lease lease = c.self->engines_->acquire(c.self->model_fp_);
     (*c.results)[k] =
-        lease.runner().run(c.self->net_, (*c.inputs)[k], c.self->opts_.policy);
+        lease.runner().run(c.self->net_, (*c.inputs)[k], c.self->opts_.policy,
+                           c.self->model_fp_);
   };
   ThreadPool& pool = pool_ ? *pool_ : ThreadPool::global();
   pool.run(task, &ctx, inputs.size());

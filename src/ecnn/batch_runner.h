@@ -6,17 +6,21 @@
 // simulates one QuantizedNetwork over N input streams across the persistent
 // thread pool, each in-flight sample on its own pooled engine.
 //
-// Engine reuse: run() leases engines from a serve::EnginePool (one engine
+// Engine reuse: run() leases engines from an ecnn::EnginePool (one engine
 // per in-flight slot, grown on demand and kept across run() calls) instead
 // of constructing one per sample — construction is dominated by the
 // memory model's multi-MB zero-fill, which used to be paid per sample.
 // run_one() keeps the fresh-engine path as the reference semantics.
 //
-// Determinism: a released engine is reset() to the freshly-constructed
-// machine state (including the contention-stall RNG), so pooled results are
+// Determinism: a released engine is machine-reset to the freshly-constructed
+// state (including the contention-stall RNG), so pooled results are
 // bitwise identical to fresh-engine results and independent of the worker
 // count and of how samples are scheduled onto threads — the regression
-// suite asserts this.
+// suite asserts this. Opting into BatchOptions::weight_resident trades that
+// strict tier for the relaxed one: repeat leases skip reprogramming
+// resident weights, so programming-phase counters drop out of the results
+// while events, spikes and post-programming counters stay bitwise equal to
+// run_one (see ecnn::NetworkRunner's warm mode).
 #pragma once
 
 #include <cstddef>
@@ -30,7 +34,7 @@
 #include "ecnn/runner.h"
 #include "event/event_stream.h"
 #include "hwsim/memory.h"
-#include "serve/engine_pool.h"
+#include "ecnn/engine_pool.h"
 
 namespace sne::ecnn {
 
@@ -42,6 +46,11 @@ struct BatchOptions {
   std::size_t memory_words = (1u << 22);   ///< per-engine external memory
   hwsim::MemoryTiming mem_timing{};        ///< per-engine memory timing
   event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly;
+  /// Warm-run the pooled engines (program-once / serve-many): relaxed
+  /// equality tier instead of strict bitwise equality with run_one — see
+  /// the header comment. Default off: dataset protocols (Table-1, energy
+  /// sweeps) pin strict counter equality against the serial reference.
+  bool weight_resident = false;
 };
 
 class BatchRunner {
@@ -79,7 +88,9 @@ class BatchRunner {
   std::unique_ptr<ThreadPool> pool_;
   /// Resident engines for run(): grows to the number of in-flight slots and
   /// is kept across run() calls (engines reset between samples).
-  std::unique_ptr<serve::EnginePool> engines_;
+  std::unique_ptr<EnginePool> engines_;
+  /// Model fingerprint for warm leases (0 when weight_resident is off).
+  std::uint64_t model_fp_ = 0;
 };
 
 }  // namespace sne::ecnn

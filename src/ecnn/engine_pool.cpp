@@ -1,6 +1,8 @@
-#include "serve/engine_pool.h"
+#include "ecnn/engine_pool.h"
 
-namespace sne::serve {
+#include <algorithm>
+
+namespace sne::ecnn {
 
 EnginePool::EnginePool(core::SneConfig hw, unsigned warm_engines,
                        EnginePoolOptions opts)
@@ -23,12 +25,32 @@ std::unique_ptr<EnginePool::Entry> EnginePool::build_entry() const {
   return entry;
 }
 
-EnginePool::Entry* EnginePool::acquire_entry() {
+EnginePool::Entry* EnginePool::acquire_entry(std::uint64_t model_tag) {
   std::unique_lock<std::mutex> lk(m_);
   for (;;) {
     if (!free_.empty()) {
-      Entry* e = free_.back();
-      free_.pop_back();
+      // Affinity scan (newest first: recently released engines are the
+      // likeliest to still hold hot weights): same model tag beats a
+      // never-tagged engine beats evicting another model's residency.
+      std::size_t pick = free_.size() - 1;
+      if (model_tag != 0) {
+        std::size_t blank = free_.size();
+        bool matched = false;
+        for (std::size_t k = free_.size(); k-- > 0;) {
+          if (free_[k]->model_tag == model_tag) {
+            pick = k;
+            matched = true;
+            break;
+          }
+          if (free_[k]->model_tag == 0 && blank == free_.size()) blank = k;
+        }
+        if (matched)
+          ++warm_leases_;
+        else if (blank < free_.size())
+          pick = blank;
+      }
+      Entry* e = free_[pick];
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(pick));
       ++leases_;
       return e;
     }
@@ -59,13 +81,19 @@ EnginePool::Entry* EnginePool::acquire_entry() {
   }
 }
 
-void EnginePool::release_entry(Entry* entry) {
+void EnginePool::release_entry(Entry* entry, std::uint64_t model_tag) {
   // Reset on release (not on acquire): the lease boundary is where the
   // request's state stops being interesting, and the next acquire starts on
-  // an engine already indistinguishable from new.
-  entry->engine->reset();
+  // an engine already indistinguishable from new. The weight-resident mode
+  // keeps the slice programming (and its residency tags) across the reset;
+  // the full reset is the A/B baseline that scrubs it.
+  if (opts_.weight_resident)
+    entry->engine->reset_machine_state();
+  else
+    entry->engine->reset();
   {
     std::lock_guard<std::mutex> lk(m_);
+    entry->model_tag = opts_.weight_resident ? model_tag : 0;
     free_.push_back(entry);
   }
   cv_.notify_one();
@@ -73,7 +101,7 @@ void EnginePool::release_entry(Entry* entry) {
 
 EnginePool::Stats EnginePool::stats() const {
   std::lock_guard<std::mutex> lk(m_);
-  return Stats{entries_.size() + building_, leases_};
+  return Stats{entries_.size() + building_, leases_, warm_leases_};
 }
 
-}  // namespace sne::serve
+}  // namespace sne::ecnn

@@ -1,13 +1,22 @@
-// EnginePool: resident, reusable cycle-accurate engines for serving.
+// EnginePool: resident, reusable cycle-accurate engines for serving and
+// batched simulation.
 //
 // Constructing an SneEngine is the expensive part of a request: the external
 // memory model alone is a multi-MB zero-fill (16 MB at the default 2^22
 // words), dwarfing the simulation of a small sample. The pool keeps engines
 // (plus their NetworkRunner front-ends) alive across requests and hands them
-// out as RAII leases; on release the engine is reset() — which restores the
-// freshly-constructed machine state without touching memory contents — so a
-// leased engine produces bitwise-identical results to a brand-new one
-// (test_serve pins this for any lease interleaving).
+// out as RAII leases; on release the engine is machine-reset — restoring the
+// freshly-constructed machine state — so a leased engine produces
+// bitwise-identical results to a brand-new one for cold runs (test_serve
+// pins this for any lease interleaving).
+//
+// Weight residency: by default the release path keeps each engine's slice
+// programming (configuration + weight stores + residency tags) resident,
+// and acquire() takes an optional model tag so same-model leases land on an
+// engine that already holds the model's weights — the warm run then skips
+// the whole WLOAD phase (ecnn::NetworkRunner's warm mode; the per-slice
+// residency tags guarantee correctness even when the affinity guess is
+// wrong). Cold runs reprogram every pass and cannot observe the difference.
 //
 // The pool grows on demand up to `max_engines` (0 = unbounded); engines are
 // constructed outside the pool lock so concurrent first-touch acquires do
@@ -25,7 +34,7 @@
 #include "ecnn/runner.h"
 #include "hwsim/memory.h"
 
-namespace sne::serve {
+namespace sne::ecnn {
 
 struct EnginePoolOptions {
   std::size_t memory_words = (1u << 22);  ///< per-engine external memory
@@ -34,12 +43,20 @@ struct EnginePoolOptions {
   /// Hard cap on resident engines; acquire() blocks when every engine is
   /// leased out and the cap is reached. 0 = grow without bound.
   unsigned max_engines = 0;
+  /// Release leases with reset_machine_state() (keep slice programming
+  /// resident) instead of a full reset(). Cold runs are bitwise unaffected
+  /// either way; warm runs need this on to ever hit residency.
+  bool weight_resident = true;
 };
 
 class EnginePool {
   struct Entry {
     std::unique_ptr<core::SneEngine> engine;
     std::unique_ptr<ecnn::NetworkRunner> runner;
+    /// Model tag of the last tagged lease served on this engine (0 = none):
+    /// the acquire-time affinity hint. Correctness never depends on it —
+    /// the engine's per-slice residency tags are the ground truth.
+    std::uint64_t model_tag = 0;
   };
 
  public:
@@ -51,11 +68,12 @@ class EnginePool {
   EnginePool(const EnginePool&) = delete;
   EnginePool& operator=(const EnginePool&) = delete;
 
-  /// Exclusive hold of one pooled engine; releases (and resets) on
+  /// Exclusive hold of one pooled engine; releases (and machine-resets) on
   /// destruction.
   class Lease {
    public:
-    Lease(Lease&& o) noexcept : pool_(o.pool_), entry_(o.entry_) {
+    Lease(Lease&& o) noexcept
+        : pool_(o.pool_), entry_(o.entry_), model_tag_(o.model_tag_) {
       o.pool_ = nullptr;
       o.entry_ = nullptr;
     }
@@ -63,7 +81,7 @@ class EnginePool {
     Lease(const Lease&) = delete;
     Lease& operator=(const Lease&) = delete;
     ~Lease() {
-      if (pool_) pool_->release_entry(entry_);
+      if (pool_) pool_->release_entry(entry_, model_tag_);
     }
 
     core::SneEngine& engine() { return *entry_->engine; }
@@ -71,17 +89,27 @@ class EnginePool {
 
    private:
     friend class EnginePool;
-    Lease(EnginePool* pool, Entry* entry) : pool_(pool), entry_(entry) {}
+    Lease(EnginePool* pool, Entry* entry, std::uint64_t model_tag)
+        : pool_(pool), entry_(entry), model_tag_(model_tag) {}
     EnginePool* pool_;
     Entry* entry_;
+    std::uint64_t model_tag_;
   };
 
   /// Blocks until an engine is free (or can be constructed under the cap).
-  Lease acquire() { return Lease(this, acquire_entry()); }
+  /// `model_tag` (e.g. ecnn::model_fingerprint of the model about to run;
+  /// 0 = no affinity) steers the lease onto a free engine that last served
+  /// the same model, preferring in order: same tag, never-tagged, any —
+  /// so one hot model does not evict another's resident weights when a
+  /// blank engine is available.
+  Lease acquire(std::uint64_t model_tag = 0) {
+    return Lease(this, acquire_entry(model_tag), model_tag);
+  }
 
   struct Stats {
     std::uint64_t constructed = 0;  ///< engines built over the pool lifetime
     std::uint64_t leases = 0;       ///< acquire() calls served
+    std::uint64_t warm_leases = 0;  ///< leases landing on a same-tag engine
   };
   Stats stats() const;
 
@@ -89,8 +117,8 @@ class EnginePool {
   const EnginePoolOptions& options() const { return opts_; }
 
  private:
-  Entry* acquire_entry();
-  void release_entry(Entry* entry);
+  Entry* acquire_entry(std::uint64_t model_tag);
+  void release_entry(Entry* entry, std::uint64_t model_tag);
   std::unique_ptr<Entry> build_entry() const;
 
   core::SneConfig hw_;
@@ -102,6 +130,7 @@ class EnginePool {
   std::vector<Entry*> free_;
   unsigned building_ = 0;  ///< constructions in flight outside the lock
   std::uint64_t leases_ = 0;
+  std::uint64_t warm_leases_ = 0;
 };
 
-}  // namespace sne::serve
+}  // namespace sne::ecnn

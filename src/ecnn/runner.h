@@ -31,16 +31,29 @@ struct LayerRunStats {
   event::EventStream output;          ///< merged spikes of this layer
   hwsim::ActivityCounters counters;   ///< all rounds, incl. weight loading
   std::uint64_t cycles = 0;           ///< serialized cycles over rounds
+  /// Programming-phase share of `counters`/`cycles`: everything charged
+  /// while installing slice weights (WLOAD stream runs, or the host-load
+  /// path's arithmetic beat accounting). `counters - programming` is the
+  /// post-programming activity the warm serving tier pins bitwise against
+  /// the cold reference; the warm-vs-cold delta is exactly this field.
+  hwsim::ActivityCounters programming;
+  std::uint64_t programming_cycles = 0;
   std::size_t input_events = 0;
   std::size_t output_events = 0;
   double input_activity = 0.0;
   std::size_t rounds = 0;
+  std::size_t passes_total = 0;  ///< slice passes over all rounds
+  std::size_t passes_warm = 0;   ///< of which skipped via weight residency
 };
 
 struct NetworkRunStats {
   std::vector<LayerRunStats> layers;
   hwsim::ActivityCounters total;
   std::uint64_t cycles = 0;           ///< layers serialize in TM mode
+  hwsim::ActivityCounters programming;  ///< sum of the layers' programming
+  std::uint64_t programming_cycles = 0;
+  std::size_t passes_total = 0;
+  std::size_t passes_warm = 0;
   event::EventStream final_output;
 
   std::size_t total_input_events() const {
@@ -56,6 +69,23 @@ struct NetworkRunStats {
            cycle_ns * 1e-6;
   }
 };
+
+/// 64-bit FNV-1a fingerprint of a quantized network: every layer parameter,
+/// the weight codes and the bit-exact scale, folded order-sensitively with
+/// the same FNV machinery the checkpoint checksum uses (common/fnv.h). Two
+/// networks share a fingerprint iff their canonical encodings agree; the
+/// warm serving path keys weight residency on it. Never returns 0 (the
+/// "no fingerprint / run cold" sentinel).
+std::uint64_t model_fingerprint(const QuantizedNetwork& net);
+
+/// Residency tag of one slice-pass programming: FNV-1a of (model
+/// fingerprint, timesteps, layer index, round, pass). For a fixed engine
+/// design point the mapper's plan is a pure function of these, so an equal
+/// tag proves the slice already holds exactly this pass's configuration and
+/// weight image. Never returns 0.
+std::uint64_t pass_residency_tag(std::uint64_t model_fp,
+                                 std::uint16_t timesteps, std::size_t layer,
+                                 std::size_t round, std::size_t pass);
 
 /// Maps a whole network onto one slice per layer and installs the chained
 /// C-XBAR routes (paper III-D.5, pipeline operating mode). Requires every
@@ -78,20 +108,46 @@ class NetworkRunner {
 
   /// Runs the network; `input` carries UPDATE events only (control events
   /// are inserted per layer).
+  ///
+  /// `model_fp` (nonzero = warm mode, pass net's model_fingerprint):
+  /// before programming each pass, the engine's resident tag is compared
+  /// against the pass's residency tag and matching passes skip
+  /// configure + program_weights entirely — the program-once / serve-many
+  /// path. Warm results obey the *relaxed equality tier*: output event
+  /// sequences, spikes and post-programming counters are bitwise identical
+  /// to the cold fresh-engine reference, and the counter/cycle delta equals
+  /// the skipped programming's contribution exactly
+  /// (cold.counters - warm.counters == cold.programming - warm.programming,
+  /// pinned arithmetically by test_serve — not a tolerance). 0 = cold
+  /// (always reprogram; strict bitwise tier, byte-for-byte PR-4 behavior).
   NetworkRunStats run(const QuantizedNetwork& net,
                       const event::EventStream& input,
                       event::FirePolicy policy =
-                          event::FirePolicy::kActiveStepsOnly);
+                          event::FirePolicy::kActiveStepsOnly,
+                      std::uint64_t model_fp = 0);
 
   /// Runs one layer (all of its mapper rounds) on the engine and returns its
   /// stats; `run` is a fold of this over the network's layers. Public as the
   /// serving reuse hook: a pipeline stage executes exactly this per owned
   /// layer, so sharded execution reproduces the serial protocol bit for bit
-  /// (sne::serve::PipelineDeployment).
+  /// (sne::serve::PipelineDeployment). `model_fp`/`layer_index` identify the
+  /// layer's passes for the warm residency check (see run()).
   LayerRunStats run_layer(const QuantizedLayerSpec& layer,
                           const event::EventStream& input,
                           event::FirePolicy policy =
-                              event::FirePolicy::kActiveStepsOnly);
+                              event::FirePolicy::kActiveStepsOnly,
+                          std::uint64_t model_fp = 0,
+                          std::size_t layer_index = 0);
+
+  /// Deploy-time programming: installs every pass of `layer` (all rounds)
+  /// and tags residency without consuming any input, so subsequent warm
+  /// runs of the same (model, timesteps) skip the matching passes. The
+  /// programming's counters and cycles are deployment cost, charged to no
+  /// request (the relaxed tier's accounting). Note that rounds program the
+  /// same slices in sequence, so only the final round's passes remain
+  /// resident for multi-round layers — warm runs reprogram the rest.
+  void program_layer(const QuantizedLayerSpec& layer, std::uint16_t timesteps,
+                     std::uint64_t model_fp, std::size_t layer_index);
 
   const Mapper& mapper() const { return mapper_; }
 
@@ -100,9 +156,32 @@ class NetworkRunner {
   void program_weights(const SlicePass& pass, hwsim::ActivityCounters& agg,
                        std::uint64_t& cycles);
 
+  /// Rejects warm mode in the one configuration whose programming phase is
+  /// entangled with the input run (streamed WLOAD under randomized memory
+  /// stalls: the RNG draw order is a whole-engine sequence).
+  void check_warm_preconditions(std::uint64_t model_fp) const;
+
+  /// Warm-path plan cache: mapper plans are pure functions of
+  /// (layer, timesteps) and the model fingerprint identifies the layer
+  /// bit-for-bit, so repeat requests reuse the plan (including its weight
+  /// images) instead of re-running the mapper per request — on a warm run
+  /// the plan rebuild would otherwise rival the simulation itself. Bounded
+  /// FIFO eviction; cold runs (fp == 0) never touch it.
+  struct CachedPlan {
+    std::uint64_t model_fp = 0;
+    std::uint16_t timesteps = 0;
+    std::size_t layer_index = 0;
+    LayerPlan plan;
+  };
+  static constexpr std::size_t kPlanCacheCap = 64;
+  const LayerPlan& cached_plan(const QuantizedLayerSpec& layer,
+                               std::uint16_t timesteps, std::uint64_t model_fp,
+                               std::size_t layer_index);
+
   core::SneEngine* engine_;
   Mapper mapper_;
   bool use_wload_stream_;
+  std::vector<CachedPlan> plan_cache_;
 };
 
 }  // namespace sne::ecnn

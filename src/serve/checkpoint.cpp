@@ -5,19 +5,21 @@
 #include <fstream>
 
 #include "common/contracts.h"
+#include "common/fnv.h"
 #include "ecnn/mapper.h"
 
 namespace sne::serve {
 
 namespace {
 
-/// 32-bit FNV-1a folded over whole words: order-sensitive, so swapped or
-/// mutually-compensating word corruption is caught (an additive sum would
-/// not be).
+// 32-bit FNV-1a (common/fnv.h — the same machinery behind the warm-serving
+// model fingerprints) folded over whole words: order-sensitive, so swapped
+// or mutually-compensating word corruption is caught (an additive sum would
+// not be).
 inline std::uint32_t fnv_step(std::uint32_t h, std::uint32_t word) {
-  return (h ^ word) * 16777619u;
+  return fnv32_step(h, word);
 }
-inline constexpr std::uint32_t kFnvBasis = 2166136261u;
+inline constexpr std::uint32_t kFnvBasis = kFnv32Basis;
 
 /// Word-stream writer; the checksum is folded over the serialized words.
 struct Writer {

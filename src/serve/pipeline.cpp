@@ -13,8 +13,9 @@ PipelineDeployment::PipelineDeployment(core::SneConfig hw,
       net_(std::move(net)),
       opts_(opts),
       pool_(hw_, 0,
-            EnginePoolOptions{opts.memory_words, opts.mem_timing,
-                              opts.use_wload_stream, /*max_engines=*/0}) {
+            ecnn::EnginePoolOptions{opts.memory_words, opts.mem_timing,
+                                    opts.use_wload_stream, /*max_engines=*/0,
+                                    /*weight_resident=*/opts.weight_resident}) {
   hw_.validate();
   SNE_EXPECTS(!net_.layers.empty());
   if (opts_.mem_timing.stall_probability > 0.0)
@@ -22,6 +23,7 @@ PipelineDeployment::PipelineDeployment(core::SneConfig hw,
         "pipelined sharding requires deterministic memory timing "
         "(stall_probability == 0): contention-RNG draws are a whole-engine "
         "sequence the per-stage replay cannot reproduce");
+  if (opts_.weight_resident) model_fp_ = ecnn::model_fingerprint(net_);
 
   // Contiguous near-even split of the layer list over the stages.
   const std::size_t layers = net_.layers.size();
@@ -84,14 +86,26 @@ void PipelineDeployment::stage_loop(std::size_t s) {
   // from new. Nothing may escape this thread function (std::terminate), so
   // a failed engine construction is held and lands on every job's ticket
   // instead.
-  std::optional<EnginePool::Lease> lease;
+  std::optional<ecnn::EnginePool::Lease> lease;
   std::exception_ptr stage_error;
   try {
-    lease.emplace(pool_.acquire());
+    lease.emplace(pool_.acquire(model_fp_));
   } catch (...) {
     stage_error = std::current_exception();
   }
   const auto [first, last] = ranges_[s];
+  if (!stage_error && opts_.weight_resident && opts_.warmup_timesteps > 0) {
+    // Deploy-time programming: install the stage's layer range before any
+    // traffic, so even the first request runs weight-resident. Programming
+    // counters are deployment cost, charged to no request.
+    try {
+      for (std::size_t li = first; li < last; ++li)
+        lease->runner().program_layer(net_.layers[li], opts_.warmup_timesteps,
+                                      model_fp_, li);
+    } catch (...) {
+      stage_error = std::current_exception();
+    }
+  }
   const bool is_last = s + 1 == queues_.size();
   for (;;) {
     std::optional<JobPtr> popped = queues_[s]->pop();
@@ -103,15 +117,25 @@ void PipelineDeployment::stage_loop(std::size_t s) {
     }
     if (!job->failed) {
       try {
-        lease->engine().reset();
+        // Weight-resident stages keep their programming across jobs; the
+        // machine reset alone restores a state indistinguishable (for the
+        // relaxed tier) from the full reset + reprogram of the cold path.
+        if (opts_.weight_resident)
+          lease->engine().reset_machine_state();
+        else
+          lease->engine().reset();
         for (std::size_t li = first; li < last; ++li) {
           const event::EventStream& cur = job->acc.layers.empty()
                                               ? job->input
                                               : job->acc.layers.back().output;
-          ecnn::LayerRunStats layer =
-              lease->runner().run_layer(net_.layers[li], cur, opts_.policy);
+          ecnn::LayerRunStats layer = lease->runner().run_layer(
+              net_.layers[li], cur, opts_.policy, model_fp_, li);
           job->acc.total += layer.counters;
           job->acc.cycles += layer.cycles;
+          job->acc.programming += layer.programming;
+          job->acc.programming_cycles += layer.programming_cycles;
+          job->acc.passes_total += layer.passes_total;
+          job->acc.passes_warm += layer.passes_warm;
           job->acc.layers.push_back(std::move(layer));
         }
       } catch (...) {

@@ -1,6 +1,7 @@
 #include "serve/registry.h"
 
 #include "common/contracts.h"
+#include "ecnn/runner.h"
 
 namespace sne::serve {
 
@@ -11,9 +12,18 @@ ModelRegistry::ModelPtr ModelRegistry::put(
   SNE_EXPECTS(!net.layers.empty());
   auto model =
       std::make_shared<const ecnn::QuantizedNetwork>(std::move(net));
+  // Fingerprint outside the lock: it walks every weight code once.
+  const std::uint64_t fp = ecnn::model_fingerprint(*model);
   std::lock_guard<std::mutex> lk(m_);
-  models_[name] = Entry{model, std::move(plan)};
+  models_[name] = Entry{model, std::move(plan), fp};
   return model;
+}
+
+ModelRegistry::Resolved ModelRegistry::resolve(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) throw ConfigError("unknown model: " + name);
+  return Resolved{it->second.model, it->second.fingerprint};
 }
 
 ModelRegistry::ModelPtr ModelRegistry::load_file(const std::string& name,

@@ -8,6 +8,7 @@
 // mid-flight — the snapshot dies with its last in-flight request.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,16 @@ class ModelRegistry {
   /// Resident snapshot of `name`, or nullptr when unknown.
   ModelPtr find(const std::string& name) const;
 
+  /// Snapshot plus the model fingerprint (ecnn::model_fingerprint, computed
+  /// once at registration) the warm serving path keys weight residency on.
+  /// One lock acquisition, so a re-point cannot split the pair. Throws
+  /// ConfigError when unknown.
+  struct Resolved {
+    ModelPtr model;
+    std::uint64_t fingerprint = 0;
+  };
+  Resolved resolve(const std::string& name) const;
+
   /// Plan metadata recorded with the model (from its checkpoint or put()).
   std::optional<CheckpointPlanMeta> plan(const std::string& name) const;
 
@@ -51,6 +62,7 @@ class ModelRegistry {
   struct Entry {
     ModelPtr model;
     std::optional<CheckpointPlanMeta> plan;
+    std::uint64_t fingerprint = 0;
   };
 
   mutable std::mutex m_;

@@ -26,13 +26,23 @@ InferenceServer::InferenceServer(const ModelRegistry& registry,
       hw_(hw),
       opts_(opts),
       pool_(hw, opts.reuse_engines ? opts.engines : 0,
-            EnginePoolOptions{opts.memory_words, opts.mem_timing,
-                              opts.use_wload_stream,
-                              /*max_engines=*/opts.engines}),
+            ecnn::EnginePoolOptions{opts.memory_words, opts.mem_timing,
+                                    opts.use_wload_stream,
+                                    /*max_engines=*/opts.engines,
+                                    /*weight_resident=*/opts.warm_weights}),
       queue_(opts.queue_capacity),
       started_at_(std::chrono::steady_clock::now()) {
   hw_.validate();
   if (opts_.engines == 0) throw ConfigError("server needs at least one engine");
+  // Fail fast on the combination every warm run would reject anyway
+  // (NetworkRunner::check_warm_preconditions): constructing a server whose
+  // requests all fail at runtime helps nobody.
+  if (opts_.reuse_engines && opts_.warm_weights && opts_.use_wload_stream &&
+      opts_.mem_timing.stall_probability > 0.0)
+    throw ConfigError(
+        "warm serving with streamed WLOAD programming requires deterministic "
+        "memory timing (stall_probability == 0); set warm_weights=false to "
+        "serve this configuration cold");
   workers_.reserve(opts_.engines);
   for (unsigned i = 0; i < opts_.engines; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -48,7 +58,12 @@ InferenceServer::~InferenceServer() {
 InferenceServer::Request InferenceServer::make_request(
     const std::string& model, event::EventStream input) {
   Request req;
-  req.model = registry_.get(model);  // throws on unknown models
+  // Snapshot + fingerprint resolve atomically (throws on unknown models);
+  // a re-point mid-flight can never pair one model's weights with
+  // another's residency key.
+  const ModelRegistry::Resolved resolved = registry_.resolve(model);
+  req.model = resolved.model;
+  req.model_fp = resolved.fingerprint;
   req.input = std::move(input);
   req.ticket = std::make_shared<detail::TicketState>();
   req.submitted_at = std::chrono::steady_clock::now();
@@ -118,10 +133,14 @@ void InferenceServer::worker_loop() {
 void InferenceServer::process(Request& req) {
   ecnn::NetworkRunStats result;
   std::exception_ptr error;
+  // Warm dispatch only makes sense on pooled engines: a fresh-construct
+  // engine can never hold resident weights.
+  const std::uint64_t fp =
+      opts_.reuse_engines && opts_.warm_weights ? req.model_fp : 0;
   try {
     if (opts_.reuse_engines) {
-      EnginePool::Lease lease = pool_.acquire();
-      result = lease.runner().run(*req.model, req.input, opts_.policy);
+      ecnn::EnginePool::Lease lease = pool_.acquire(fp);
+      result = lease.runner().run(*req.model, req.input, opts_.policy, fp);
     } else {
       // Fresh-construct baseline: what serving costs without the pool.
       core::SneEngine engine(hw_, opts_.memory_words, opts_.mem_timing);
@@ -139,6 +158,8 @@ void InferenceServer::process(Request& req) {
     } else {
       ++completed_;
       total_sim_cycles_ += result.cycles;
+      passes_warm_ += result.passes_warm;
+      passes_total_ += result.passes_total;
     }
     // Bounded reservoir: exact until kLatencyReservoir completions, a
     // uniform sample of the full history after.
@@ -174,6 +195,8 @@ ServerStats InferenceServer::stats() const {
     s.failed = failed_;
     s.rejected = rejected_;
     s.total_sim_cycles = total_sim_cycles_;
+    s.passes_warm = passes_warm_;
+    s.passes_total = passes_total_;
     lat = latencies_ms_;
   }
   s.queue_depth = queue_.size();
@@ -192,9 +215,10 @@ ServerStats InferenceServer::stats() const {
     s.latency_ms_p90 = percentile(lat, 0.90);
     s.latency_ms_p99 = percentile(lat, 0.99);
   }
-  const EnginePool::Stats ps = pool_.stats();
+  const ecnn::EnginePool::Stats ps = pool_.stats();
   s.engines_constructed = ps.constructed;
   s.engine_leases = ps.leases;
+  s.engine_warm_leases = ps.warm_leases;
   return s;
 }
 

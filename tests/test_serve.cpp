@@ -24,9 +24,9 @@
 #include "core/engine.h"
 #include "data/synthetic.h"
 #include "ecnn/batch_runner.h"
+#include "ecnn/engine_pool.h"
 #include "ecnn/runner.h"
 #include "serve/checkpoint.h"
-#include "serve/engine_pool.h"
 #include "serve/pipeline.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -122,6 +122,44 @@ void expect_equivalent(const NetworkRunStats& ref, const NetworkRunStats& got) {
         << "layer " << i;
     // Exact event sequence, not just the canonical spike set.
     EXPECT_TRUE(ref.layers[i].output == got.layers[i].output) << "layer " << i;
+  }
+  EXPECT_TRUE(ref.final_output == got.final_output);
+}
+
+hwsim::ActivityCounters sum(hwsim::ActivityCounters a,
+                            const hwsim::ActivityCounters& b) {
+  a += b;
+  return a;
+}
+
+/// The relaxed equality tier of weight-resident (warm) serving: output event
+/// sequences and spikes bitwise identical to the cold reference, and the
+/// counter/cycle difference EXACTLY the programming phases' contribution —
+/// an arithmetic identity (ref - ref.programming == got - got.programming,
+/// asserted additively so nothing can underflow), not a tolerance.
+void expect_warm_equivalent(const NetworkRunStats& ref,
+                            const NetworkRunStats& got) {
+  EXPECT_EQ(ref.cycles - ref.programming_cycles,
+            got.cycles - got.programming_cycles);
+  EXPECT_TRUE(sum(ref.total, got.programming) == sum(got.total, ref.programming))
+      << "post-programming counters diverge:\nref: " << ref.total
+      << "\nref prog: " << ref.programming << "\ngot: " << got.total
+      << "\ngot prog: " << got.programming;
+  ASSERT_EQ(ref.layers.size(), got.layers.size());
+  for (std::size_t i = 0; i < ref.layers.size(); ++i) {
+    const auto& rl = ref.layers[i];
+    const auto& gl = got.layers[i];
+    EXPECT_EQ(rl.cycles - rl.programming_cycles,
+              gl.cycles - gl.programming_cycles)
+        << "layer " << i;
+    EXPECT_EQ(rl.rounds, gl.rounds) << "layer " << i;
+    EXPECT_EQ(rl.passes_total, gl.passes_total) << "layer " << i;
+    EXPECT_EQ(rl.input_events, gl.input_events) << "layer " << i;
+    EXPECT_TRUE(sum(rl.counters, gl.programming) ==
+                sum(gl.counters, rl.programming))
+        << "layer " << i;
+    // Exact event sequence, not just the canonical spike set.
+    EXPECT_TRUE(rl.output == gl.output) << "layer " << i;
   }
   EXPECT_TRUE(ref.final_output == got.final_output);
 }
@@ -298,15 +336,43 @@ TEST(EnginePoolTest, LeasedEnginesAreBitwiseFresh) {
   ecnn::BatchRunner batch(hw, net, bo);
   const NetworkRunStats ref = batch.run_one(in);
 
-  serve::EnginePool pool(
-      hw, 1, serve::EnginePoolOptions{1u << 20, {}, false, /*max_engines=*/1});
+  ecnn::EnginePool pool(
+      hw, 1, ecnn::EnginePoolOptions{1u << 20, {}, false, /*max_engines=*/1});
   for (int round = 0; round < 3; ++round) {
-    serve::EnginePool::Lease lease = pool.acquire();
+    ecnn::EnginePool::Lease lease = pool.acquire();
     expect_equivalent(ref, lease.runner().run(net, in));
   }
-  const serve::EnginePool::Stats ps = pool.stats();
+  const ecnn::EnginePool::Stats ps = pool.stats();
   EXPECT_EQ(ps.constructed, 1u);  // one engine, reused every round
   EXPECT_EQ(ps.leases, 3u);
+}
+
+TEST(EnginePoolTest, TaggedAcquiresPreferResidentEngines) {
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  ecnn::EnginePool pool(
+      hw, 2, ecnn::EnginePoolOptions{1u << 20, {}, false, /*max_engines=*/2});
+  const std::uint64_t tag_a = 111, tag_b = 222;
+
+  core::SneEngine* engine_a = nullptr;
+  {
+    ecnn::EnginePool::Lease lease = pool.acquire(tag_a);
+    engine_a = &lease.engine();
+  }
+  {
+    // Different model: must land on the still-untagged engine instead of
+    // evicting A's residency.
+    ecnn::EnginePool::Lease lease = pool.acquire(tag_b);
+    EXPECT_NE(&lease.engine(), engine_a);
+  }
+  {
+    // Same model again: back on A's engine, counted as a warm lease.
+    ecnn::EnginePool::Lease lease = pool.acquire(tag_a);
+    EXPECT_EQ(&lease.engine(), engine_a);
+  }
+  const ecnn::EnginePool::Stats ps = pool.stats();
+  EXPECT_EQ(ps.constructed, 2u);
+  EXPECT_EQ(ps.leases, 3u);
+  EXPECT_EQ(ps.warm_leases, 1u);
 }
 
 TEST(BatchRunnerTest, PooledRunMatchesFreshUnderStallRng) {
@@ -347,6 +413,7 @@ TEST(ServerTest, ServedResultsMatchSerialReferenceAnyEngineCountAnyOrder) {
     serve::ServeOptions so;
     so.engines = engines;
     so.memory_words = 1u << 20;
+    so.warm_weights = false;  // strict tier: reprogram every request
     serve::InferenceServer server(registry, hw, so);
     // Reversed submission order: completion order and engine assignment are
     // load-dependent, results must not be.
@@ -445,6 +512,7 @@ TEST(PipelineTest, ShardedMatchesSerialAtEveryStageCount) {
     serve::PipelineOptions po;
     po.stages = stages;
     po.memory_words = 1u << 20;
+    po.weight_resident = false;  // strict tier: reprogram every request
     serve::PipelineDeployment deployment(hw, net, po);
     EXPECT_EQ(deployment.stages(), stages);
     // Contiguous cover of the layer list.
@@ -470,6 +538,7 @@ TEST(PipelineTest, ConcurrentRequestsStreamThroughStages) {
   po.stages = 3;
   po.queue_capacity = 2;
   po.memory_words = 1u << 20;
+  po.weight_resident = false;  // strict tier
   serve::PipelineDeployment deployment(hw, net, po);
 
   SneEngine engine(hw, 1u << 20);
@@ -504,6 +573,7 @@ TEST(PipelineTest, WloadStreamProgrammingMatchesSerial) {
   po.stages = 2;
   po.use_wload_stream = true;
   po.memory_words = 1u << 20;
+  po.weight_resident = false;  // strict tier
   serve::PipelineDeployment deployment(hw, net, po);
   const auto results = deployment.run({in});
   ASSERT_EQ(results.size(), 1u);
@@ -516,6 +586,342 @@ TEST(PipelineTest, RejectsRandomizedMemoryTiming) {
   EXPECT_THROW(serve::PipelineDeployment(SneConfig::paper_design_point(2),
                                          three_layer_net(), po),
                ConfigError);
+}
+
+// --- weight-resident (warm) serving ------------------------------------------
+//
+// The relaxed equality tier: a warm run's outputs, spikes and
+// post-programming counters are bitwise identical to the cold fresh-engine
+// reference, and the warm-vs-cold counter/cycle delta equals the programming
+// phase's contribution EXACTLY (expect_warm_equivalent pins the arithmetic
+// identity; no tolerances anywhere).
+
+TEST(WarmRunTest, WarmRunsObeyRelaxedTier) {
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  for (const bool wload : {false, true}) {
+    for (const bool multi_layer : {false, true}) {
+      QuantizedNetwork net;
+      if (multi_layer) {
+        net = three_layer_net();
+      } else {
+        net.layers.push_back(conv_layer(1, 16, 8, 4, 11));  // single round
+      }
+      const auto in = data::random_stream({1, 16, 16, 10}, 0.08, 51);
+      const std::uint64_t fp = ecnn::model_fingerprint(net);
+      ASSERT_NE(fp, 0u);
+
+      SneEngine ref_engine(hw, 1u << 20);
+      NetworkRunner ref_runner(ref_engine, wload);
+      const NetworkRunStats ref = ref_runner.run(net, in);
+
+      SneEngine engine(hw, 1u << 20);
+      NetworkRunner runner(engine, wload);
+      const NetworkRunStats first =
+          runner.run(net, in, event::FirePolicy::kActiveStepsOnly, fp);
+      // First warm-mode run finds no residency: strict bitwise tier.
+      expect_equivalent(ref, first);
+      EXPECT_EQ(first.passes_warm, 0u);
+
+      engine.reset_machine_state();
+      const NetworkRunStats second =
+          runner.run(net, in, event::FirePolicy::kActiveStepsOnly, fp);
+      expect_warm_equivalent(ref, second);
+      EXPECT_GT(second.passes_warm, 0u) << "wload=" << wload;
+      if (!multi_layer) {
+        // A single-round layer stays fully resident: the whole programming
+        // phase vanishes and the delta is exactly the cold run's programming.
+        EXPECT_EQ(second.passes_warm, second.passes_total);
+        EXPECT_TRUE(second.programming == hwsim::ActivityCounters{});
+        EXPECT_EQ(second.programming_cycles, 0u);
+        EXPECT_EQ(second.cycles + ref.programming_cycles, ref.cycles);
+        EXPECT_TRUE(sum(second.total, ref.programming) == ref.total);
+        if (wload) {
+          EXPECT_GT(ref.programming.weight_load_beats, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(WarmRunTest, MachineResetColdRunsStayBitwiseFresh) {
+  // Negative control for the reset split: a machine reset alone (programming
+  // kept resident but no warm fingerprint passed) never changes a cold run's
+  // bits — stale-configured slices are inert and the stall RNG rewinds.
+  const QuantizedNetwork other = three_layer_net();
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 4, 3, 77));
+  const auto in = data::random_stream({1, 16, 16, 10}, 0.08, 31);
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  hwsim::MemoryTiming timing;
+  timing.stall_probability = 0.3;  // randomized contention: RNG state matters
+
+  SneEngine fresh(hw, 1u << 20, timing);
+  NetworkRunner fresh_runner(fresh, /*use_wload_stream=*/false);
+  const NetworkRunStats ref = fresh_runner.run(net, in);
+
+  SneEngine reused(hw, 1u << 20, timing);
+  NetworkRunner reused_runner(reused, /*use_wload_stream=*/false);
+  (void)reused_runner.run(other, in);  // dirty with a different model
+  reused.reset_machine_state();
+  expect_equivalent(ref, reused_runner.run(net, in));
+}
+
+TEST(WarmRunTest, ResidencyNeverCrossesModels) {
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  QuantizedNetwork a, b;
+  a.layers.push_back(conv_layer(1, 16, 8, 4, 11));
+  b.layers.push_back(conv_layer(1, 16, 8, 4, 99));  // same shape, new weights
+  const auto in = data::random_stream({1, 16, 16, 10}, 0.08, 61);
+  const std::uint64_t fa = ecnn::model_fingerprint(a);
+  const std::uint64_t fb = ecnn::model_fingerprint(b);
+  EXPECT_NE(fa, fb);
+
+  SneEngine ref_engine(hw, 1u << 20);
+  NetworkRunner ref_runner(ref_engine, /*use_wload_stream=*/false);
+  const NetworkRunStats ref_b = ref_runner.run(b, in);
+
+  SneEngine engine(hw, 1u << 20);
+  NetworkRunner runner(engine, /*use_wload_stream=*/false);
+  (void)runner.run(a, in, event::FirePolicy::kActiveStepsOnly, fa);
+  engine.reset_machine_state();
+  // B must not inherit A's residency even though the slice shapes agree.
+  const NetworkRunStats got_b =
+      runner.run(b, in, event::FirePolicy::kActiveStepsOnly, fb);
+  EXPECT_EQ(got_b.passes_warm, 0u);
+  expect_equivalent(ref_b, got_b);  // fully cold => strict tier
+}
+
+TEST(WarmRunTest, RejectsWloadStreamUnderStallRng) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 4, 4, 41));
+  hwsim::MemoryTiming timing;
+  timing.stall_probability = 0.1;
+  SneEngine engine(SneConfig::paper_design_point(2), 1u << 20, timing);
+  NetworkRunner runner(engine, /*use_wload_stream=*/true);
+  const auto in = data::random_stream({1, 16, 16, 6}, 0.05, 5);
+  const std::uint64_t fp = ecnn::model_fingerprint(net);
+  EXPECT_THROW(runner.run(net, in, event::FirePolicy::kActiveStepsOnly, fp),
+               ConfigError);
+  // Cold runs on the same configuration remain allowed.
+  EXPECT_GT(runner.run(net, in).cycles, 0u);
+  // So do warm runs with host-side loading (no programming RNG draws).
+  NetworkRunner host_runner(engine, /*use_wload_stream=*/false);
+  EXPECT_GT(
+      host_runner.run(net, in, event::FirePolicy::kActiveStepsOnly, fp).cycles,
+      0u);
+
+  // The serving front-ends reject the combination at construction — not one
+  // failed ticket per request.
+  serve::ModelRegistry registry;
+  registry.put("m", net);
+  serve::ServeOptions so;
+  so.use_wload_stream = true;
+  so.mem_timing.stall_probability = 0.1;
+  EXPECT_THROW(
+      serve::InferenceServer(registry, SneConfig::paper_design_point(2), so),
+      ConfigError);
+  so.warm_weights = false;  // cold serving of the same config stays legal
+  EXPECT_NO_THROW(
+      serve::InferenceServer(registry, SneConfig::paper_design_point(2), so));
+  ecnn::BatchOptions bo;
+  bo.use_wload_stream = true;
+  bo.mem_timing.stall_probability = 0.1;
+  bo.weight_resident = true;
+  EXPECT_THROW(ecnn::BatchRunner(SneConfig::paper_design_point(2), net, bo),
+               ConfigError);
+}
+
+TEST(ServerTest, WarmServingObeysRelaxedTierAndSkipsReprogramming) {
+  serve::ModelRegistry registry;
+  registry.put("m", three_layer_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 8; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 520 + s));
+
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  ecnn::BatchRunner batch(hw, *registry.get("m"), bo);
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) ref.push_back(batch.run_one(in));
+
+  for (const unsigned engines : {1u, 2u}) {
+    serve::ServeOptions so;  // warm_weights defaults on
+    so.engines = engines;
+    so.memory_words = 1u << 20;
+    serve::InferenceServer server(registry, hw, so);
+    std::vector<serve::Ticket> tickets(inputs.size());
+    for (std::size_t i = inputs.size(); i-- > 0;)
+      tickets[i] = server.submit("m", inputs[i]);
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      expect_warm_equivalent(ref[i], tickets[i].wait());
+
+    const serve::ServerStats st = server.stats();
+    EXPECT_EQ(st.completed, inputs.size());
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_GT(st.passes_total, 0u);
+    // Same model on a reused engine: residency must actually kick in.
+    EXPECT_GT(st.passes_warm, 0u);
+    EXPECT_GT(st.engine_warm_leases, 0u);
+  }
+}
+
+TEST(ServerTest, WarmServingEliminatesWloadStreamingSteadyState) {
+  // Single-round model over the streamed WLOAD path: from the second request
+  // on, every pass is warm and the request carries zero programming.
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 8, 4, 11));
+  serve::ModelRegistry registry;
+  registry.put("m", net);
+  const SneConfig hw = SneConfig::paper_design_point(2);
+
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 540 + s));
+
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  bo.use_wload_stream = true;
+  ecnn::BatchRunner batch(hw, net, bo);
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) ref.push_back(batch.run_one(in));
+  ASSERT_GT(ref[0].programming.weight_load_beats, 0u);
+
+  serve::ServeOptions so;
+  so.engines = 1;  // sequential: requests after the first are fully warm
+  so.memory_words = 1u << 20;
+  so.use_wload_stream = true;
+  serve::InferenceServer server(registry, hw, so);
+  std::vector<serve::Ticket> tickets;
+  for (const auto& in : inputs) tickets.push_back(server.submit("m", in));
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const NetworkRunStats got = tickets[i].wait();
+    expect_warm_equivalent(ref[i], got);
+    if (i > 0) {
+      EXPECT_EQ(got.passes_warm, got.passes_total) << "request " << i;
+      EXPECT_EQ(got.total.weight_load_beats, 0u) << "request " << i;
+      EXPECT_TRUE(got.programming == hwsim::ActivityCounters{});
+    }
+  }
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.passes_warm,
+            st.passes_total - ref[0].passes_total);  // all but request 0
+}
+
+TEST(PipelineTest, WarmStagesObeyRelaxedTierAtEveryStageCount) {
+  const QuantizedNetwork net = three_layer_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 5; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 720 + s));
+
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) {
+    SneEngine engine(hw, 1u << 20);
+    NetworkRunner runner(engine, /*use_wload_stream=*/false);
+    ref.push_back(runner.run(net, in));
+  }
+
+  for (const unsigned stages : {1u, 2u, 3u}) {
+    for (const std::uint16_t warmup : {std::uint16_t{0}, std::uint16_t{10}}) {
+      serve::PipelineOptions po;  // weight_resident defaults on
+      po.stages = stages;
+      po.memory_words = 1u << 20;
+      po.warmup_timesteps = warmup;  // 10 == the inputs' timestep count
+      serve::PipelineDeployment deployment(hw, net, po);
+      const auto results = deployment.run(inputs);
+      ASSERT_EQ(results.size(), inputs.size());
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        expect_warm_equivalent(ref[i], results[i]);
+      if (stages == 3) {
+        // One single-round layer per stage: once programmed (request 0, or
+        // deploy time with eager warmup) every request is fully resident.
+        const auto& last = results.back();
+        EXPECT_EQ(last.passes_warm, last.passes_total);
+        EXPECT_TRUE(last.programming == hwsim::ActivityCounters{});
+        if (warmup > 0) {
+          EXPECT_EQ(results.front().passes_warm, results.front().passes_total)
+              << "deploy-time warmup must cover the first request";
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineTest, WarmWloadStagesMatchRelaxedTier) {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 4, 4, 41));
+  net.layers.push_back(pool_layer(4, 16));
+  const SneConfig hw = SneConfig::paper_design_point(1);
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 3; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 8}, 0.06, 930 + s));
+
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) {
+    SneEngine engine(hw, 1u << 20);
+    NetworkRunner runner(engine, /*use_wload_stream=*/true);
+    ref.push_back(runner.run(net, in));
+  }
+  ASSERT_GT(ref[0].programming.weight_load_beats, 0u);
+
+  serve::PipelineOptions po;
+  po.stages = 2;
+  po.use_wload_stream = true;
+  po.memory_words = 1u << 20;
+  po.warmup_timesteps = 8;
+  serve::PipelineDeployment deployment(hw, net, po);
+  const auto results = deployment.run(inputs);
+  ASSERT_EQ(results.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    expect_warm_equivalent(ref[i], results[i]);
+    EXPECT_EQ(results[i].passes_warm, results[i].passes_total)
+        << "request " << i;
+  }
+}
+
+TEST(RegistryTest, RepointUnderLoadKeepsServingTheResolvedSnapshot) {
+  // Swapping a name while requests are in flight: requests admitted before
+  // the re-point keep executing the old immutable snapshot, later
+  // submissions see the new one, and cross-model weight residency never
+  // bleeds between them (distinct fingerprints).
+  QuantizedNetwork v1, v2;
+  v1.layers.push_back(conv_layer(1, 16, 4, 4, 1));
+  v2.layers.push_back(conv_layer(1, 16, 4, 4, 2));
+  const SneConfig hw = SneConfig::paper_design_point(2);
+
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 6; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 640 + s));
+
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  ecnn::BatchRunner batch_v1(hw, v1, bo), batch_v2(hw, v2, bo);
+  std::vector<NetworkRunStats> ref_v1, ref_v2;
+  for (const auto& in : inputs) {
+    ref_v1.push_back(batch_v1.run_one(in));
+    ref_v2.push_back(batch_v2.run_one(in));
+  }
+
+  serve::ModelRegistry registry;
+  registry.put("m", v1);
+  serve::ServeOptions so;
+  so.engines = 1;  // queue backs up: the re-point lands mid-flight
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, hw, so);
+
+  std::vector<serve::Ticket> t1;
+  for (std::size_t i = 0; i < 3; ++i) t1.push_back(server.submit("m", inputs[i]));
+  registry.put("m", v2);  // re-point while v1 requests are queued/running
+  std::vector<serve::Ticket> t2;
+  for (std::size_t i = 3; i < 6; ++i) t2.push_back(server.submit("m", inputs[i]));
+
+  for (std::size_t i = 0; i < t1.size(); ++i)
+    expect_warm_equivalent(ref_v1[i], t1[i].wait());
+  for (std::size_t i = 0; i < t2.size(); ++i)
+    expect_warm_equivalent(ref_v2[i + 3], t2[i].wait());
+  EXPECT_EQ(server.stats().failed, 0u);
 }
 
 }  // namespace
