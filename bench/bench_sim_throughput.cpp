@@ -4,6 +4,10 @@
 // using this repository (simulated cycles per host-second).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <optional>
+
+#include "common/fault_injection.h"
 #include "core/engine.h"
 #include "data/synthetic.h"
 #include "ecnn/batch_runner.h"
@@ -272,10 +276,19 @@ BENCHMARK(BM_TrainerEpoch)
 // relaxed equality tier); warm modes report fewer sim cycles because the
 // programming phase is simply absent — the 4-vs-3 wall-clock gap is the
 // program-once / serve-many win.
+//
+// Fault-tolerance mode (3-layer host-loaded model again):
+//   6 = chaos + shedding: the sne::faults injector is armed with a seeded
+//       8% dispatch-failure rule (each failure quarantines an engine and
+//       retries within retry_budget), and every 4th request carries an
+//       already-expired deadline (shed at admission, never simulated). This
+//       prices the hardened serving path under load; mode 1 with the
+//       injector disarmed is the contrast that keeps the compiled-in-but-
+//       disabled overhead honest.
 void BM_ServeThroughput(benchmark::State& state) {
   const auto engines = static_cast<unsigned>(state.range(0));
   const auto mode = static_cast<int>(state.range(1));
-  const bool wload = mode >= 3;
+  const bool wload = mode >= 3 && mode <= 5;
   ecnn::QuantizedNetwork net;
   if (wload) {
     // 16 input channels x 16 resident output channels per slice at kernel 5
@@ -378,11 +391,33 @@ void BM_ServeThroughput(benchmark::State& state) {
     so.warm_weights = mode == 4;
     so.use_wload_stream = wload;
     serve::InferenceServer server(registry, hw, so);
+    std::optional<faults::ScopedFaults> chaos;
+    if (mode == 6) {
+      faults::FaultConfig cfg;
+      cfg.seed = 2026;
+      cfg.rules.push_back(
+          faults::FaultRule{"serve.server.dispatch", {}, 0.08, 0.0});
+      chaos.emplace(std::move(cfg));
+    }
     std::vector<serve::Ticket> tickets;
     for (auto _ : state) {
       tickets.clear();
-      for (const auto& in : inputs) tickets.push_back(server.submit("m", in));
-      for (const auto& t : tickets) cycles += t.wait().cycles;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        serve::RequestOptions ropts;
+        if (mode == 6 && i % 4 == 3)
+          ropts.deadline = std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(1);
+        tickets.push_back(server.submit("m", inputs[i], ropts));
+      }
+      for (const auto& t : tickets) {
+        try {
+          cycles += t.wait().cycles;
+        } catch (const serve::DeadlineExceeded&) {
+          // shed by design: every 4th request arrives expired
+        } catch (const faults::FaultError&) {
+          // an injected failure that outran the retry budget
+        }
+      }
       requests += tickets.size();
       benchmark::DoNotOptimize(tickets.size());
     }
@@ -395,7 +430,8 @@ void BM_ServeThroughput(benchmark::State& state) {
                  : mode == 2 ? "mode=pipelined"
                  : mode == 3 ? "mode=wload-cold-pooled"
                  : mode == 4 ? "mode=wload-warm-pooled"
-                             : "mode=wload-warm-pipelined");
+                 : mode == 5 ? "mode=wload-warm-pipelined"
+                             : "mode=chaos-retry-shed");
 }
 BENCHMARK(BM_ServeThroughput)
     ->Args({1, 0})->Args({1, 1})
@@ -405,6 +441,7 @@ BENCHMARK(BM_ServeThroughput)
     // the honest arg is 1 — a multi-stage warm-pipeline datapoint needs a
     // multi-layer wload workload first.
     ->Args({1, 3})->Args({1, 4})->Args({2, 3})->Args({2, 4})->Args({1, 5})
+    ->Args({2, 6})
     ->UseRealTime()  // dispatch workers shift work off the timing thread
     ->Unit(benchmark::kMillisecond);
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/contracts.h"
+#include "common/fault_injection.h"
+
 namespace sne::ecnn {
 
 EnginePool::EnginePool(core::SneConfig hw, unsigned warm_engines,
@@ -26,6 +29,7 @@ std::unique_ptr<EnginePool::Entry> EnginePool::build_entry() const {
 }
 
 EnginePool::Entry* EnginePool::acquire_entry(std::uint64_t model_tag) {
+  faults::check("ecnn.pool.acquire");
   std::unique_lock<std::mutex> lk(m_);
   for (;;) {
     if (!free_.empty()) {
@@ -81,7 +85,16 @@ EnginePool::Entry* EnginePool::acquire_entry(std::uint64_t model_tag) {
   }
 }
 
-void EnginePool::release_entry(Entry* entry, std::uint64_t model_tag) {
+void EnginePool::release_entry(Entry* entry, std::uint64_t model_tag,
+                               bool poisoned) {
+  // A release-time fault means the reset itself cannot be trusted; the
+  // destructor path must not throw, so the engine is quarantined exactly
+  // like a poisoned lease instead.
+  if (faults::fires("ecnn.pool.release")) poisoned = true;
+  if (poisoned) {
+    discard_entry(entry);
+    return;
+  }
   // Reset on release (not on acquire): the lease boundary is where the
   // request's state stops being interesting, and the next acquire starts on
   // an engine already indistinguishable from new. The weight-resident mode
@@ -99,9 +112,29 @@ void EnginePool::release_entry(Entry* entry, std::uint64_t model_tag) {
   cv_.notify_one();
 }
 
+void EnginePool::discard_entry(Entry* entry) {
+  // Destroy outside the lock (a multi-MB memory model dies with the engine)
+  // but unlink and free the capacity slot under it, so a blocked acquire can
+  // start constructing the replacement immediately.
+  std::unique_ptr<Entry> doomed;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = std::find_if(
+        entries_.begin(), entries_.end(),
+        [entry](const std::unique_ptr<Entry>& e) { return e.get() == entry; });
+    SNE_ASSERT(it != entries_.end());
+    doomed = std::move(*it);
+    entries_.erase(it);
+    ++quarantined_;
+    ++discarded_;
+  }
+  cv_.notify_one();
+}
+
 EnginePool::Stats EnginePool::stats() const {
   std::lock_guard<std::mutex> lk(m_);
-  return Stats{entries_.size() + building_, leases_, warm_leases_};
+  return Stats{entries_.size() + building_ + discarded_, leases_, warm_leases_,
+               quarantined_, discarded_};
 }
 
 }  // namespace sne::ecnn

@@ -21,6 +21,16 @@
 // The pool grows on demand up to `max_engines` (0 = unbounded); engines are
 // constructed outside the pool lock so concurrent first-touch acquires do
 // not serialize their memory-model clears.
+//
+// Quarantine: a lease that observed an exception mid-request calls
+// poison() — the release path then *discards* the engine (destroying it and
+// freeing its capacity slot) instead of resetting it back into the free
+// list, so an engine whose machine state an exception left in doubt can
+// never serve a later request. The next acquire constructs a replacement;
+// since fresh engines are bitwise indistinguishable from reset ones, the
+// swap is invisible to results. Release-time faults (faults::fires on
+// "ecnn.pool.release") quarantine the same way rather than throwing out of
+// the lease destructor.
 #pragma once
 
 #include <condition_variable>
@@ -73,7 +83,10 @@ class EnginePool {
   class Lease {
    public:
     Lease(Lease&& o) noexcept
-        : pool_(o.pool_), entry_(o.entry_), model_tag_(o.model_tag_) {
+        : pool_(o.pool_),
+          entry_(o.entry_),
+          model_tag_(o.model_tag_),
+          poisoned_(o.poisoned_) {
       o.pool_ = nullptr;
       o.entry_ = nullptr;
     }
@@ -81,11 +94,18 @@ class EnginePool {
     Lease(const Lease&) = delete;
     Lease& operator=(const Lease&) = delete;
     ~Lease() {
-      if (pool_) pool_->release_entry(entry_, model_tag_);
+      if (pool_) pool_->release_entry(entry_, model_tag_, poisoned_);
     }
 
     core::SneEngine& engine() { return *entry_->engine; }
     ecnn::NetworkRunner& runner() { return *entry_->runner; }
+
+    /// Marks the engine unfit for further leases: an exception interrupted
+    /// its request and nothing certifies its state. On release the pool
+    /// discards and replaces it instead of resetting it (see the quarantine
+    /// note above).
+    void poison() { poisoned_ = true; }
+    bool poisoned() const { return poisoned_; }
 
    private:
     friend class EnginePool;
@@ -94,6 +114,7 @@ class EnginePool {
     EnginePool* pool_;
     Entry* entry_;
     std::uint64_t model_tag_;
+    bool poisoned_ = false;
   };
 
   /// Blocks until an engine is free (or can be constructed under the cap).
@@ -110,6 +131,8 @@ class EnginePool {
     std::uint64_t constructed = 0;  ///< engines built over the pool lifetime
     std::uint64_t leases = 0;       ///< acquire() calls served
     std::uint64_t warm_leases = 0;  ///< leases landing on a same-tag engine
+    std::uint64_t quarantined = 0;  ///< leases released poisoned
+    std::uint64_t discarded = 0;    ///< engines destroyed instead of reused
   };
   Stats stats() const;
 
@@ -118,7 +141,8 @@ class EnginePool {
 
  private:
   Entry* acquire_entry(std::uint64_t model_tag);
-  void release_entry(Entry* entry, std::uint64_t model_tag);
+  void release_entry(Entry* entry, std::uint64_t model_tag, bool poisoned);
+  void discard_entry(Entry* entry);
   std::unique_ptr<Entry> build_entry() const;
 
   core::SneConfig hw_;
@@ -131,6 +155,8 @@ class EnginePool {
   unsigned building_ = 0;  ///< constructions in flight outside the lock
   std::uint64_t leases_ = 0;
   std::uint64_t warm_leases_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t discarded_ = 0;
 };
 
 }  // namespace sne::ecnn

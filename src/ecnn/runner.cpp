@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/contracts.h"
+#include "common/fault_injection.h"
 #include "common/fnv.h"
 
 namespace sne::ecnn {
@@ -228,6 +229,10 @@ void NetworkRunner::check_warm_preconditions(std::uint64_t model_fp) const {
 void NetworkRunner::program_weights(const SlicePass& pass,
                                     hwsim::ActivityCounters& agg,
                                     std::uint64_t& cycles) {
+  // Chaos registration point: a programming failure mid-request is the
+  // canonical "engine state now unknown" fault the quarantine+retry story
+  // is built around (tests/test_faults.cpp).
+  faults::check("ecnn.runner.program");
   core::Slice& slice = engine_->slice(pass.slice_id);
   if (pass.host_load_only || !use_wload_stream_) {
     // Host-side load. For the streamed-FC case this is the *model* of the

@@ -7,6 +7,7 @@
 // draining what was accepted so no admitted request is dropped on shutdown.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -63,6 +64,26 @@ class BoundedQueue {
     lk.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  enum class PopStatus { kItem, kTimeout, kClosed };
+
+  /// Timed pop: the dispatch-loop heartbeat. kItem moves the head into
+  /// `out`; kTimeout means nothing arrived within `timeout` (the caller
+  /// gets control back for deadline housekeeping / watchdog checks instead
+  /// of parking on the condition variable forever); kClosed means closed
+  /// *and* drained, like pop()'s nullopt.
+  PopStatus pop_for(std::chrono::nanoseconds timeout, T& out) {
+    std::unique_lock<std::mutex> lk(m_);
+    if (!not_empty_.wait_for(lk, timeout,
+                             [this] { return closed_ || !q_.empty(); }))
+      return PopStatus::kTimeout;
+    if (q_.empty()) return PopStatus::kClosed;
+    out = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return PopStatus::kItem;
   }
 
   void close() {

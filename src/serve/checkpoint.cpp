@@ -1,10 +1,12 @@
 #include "serve/checkpoint.h"
 
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "common/contracts.h"
+#include "common/fault_injection.h"
 #include "common/fnv.h"
 #include "ecnn/mapper.h"
 
@@ -141,14 +143,36 @@ void save_model(const ecnn::QuantizedNetwork& net, const std::string& path,
   for (const std::uint32_t word : w.words) checksum = fnv_step(checksum, word);
   w.put(checksum);
 
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw ConfigError("cannot open for writing: " + path);
-  f.write(reinterpret_cast<const char*>(w.words.data()),
+  // Crash-consistent write: the full image lands in a sibling temp file and
+  // is renamed over `path` only once complete, so a crash (or injected
+  // fault) at any point leaves either the old checkpoint or the new one —
+  // never a torn hybrid. rename(2) on the same filesystem is atomic.
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+      if (!f) throw ConfigError("cannot open for writing: " + tmp);
+      f.write(
+          reinterpret_cast<const char*>(w.words.data()),
           static_cast<std::streamsize>(w.words.size() * sizeof(std::uint32_t)));
-  if (!f) throw ConfigError("write failed: " + path);
+      f.flush();
+      if (!f) throw ConfigError("write failed: " + tmp);
+    }
+    // Chaos registration point: a crash after the temp write but before the
+    // rename — the window the protocol exists for.
+    faults::check("serve.checkpoint.write");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+      throw ConfigError("cannot rename " + tmp + " -> " + path);
+  } catch (...) {
+    std::remove(tmp.c_str());  // best effort; never mask the real failure
+    throw;
+  }
 }
 
 ModelCheckpoint load_model(const std::string& path) {
+  // Chaos registration point: an unreadable/torn checkpoint, observed
+  // before any bytes are trusted (registry keeps its last-good snapshot).
+  faults::check("serve.checkpoint.read");
   std::ifstream f(path, std::ios::binary);
   if (!f) throw ConfigError("cannot open for reading: " + path);
   Reader r{f, path};

@@ -63,6 +63,9 @@ struct ModelCheckpoint {
 };
 
 /// Writes `net` (and optionally its plan summary) to `path`.
+/// Crash-consistent: the image is written to `path + ".tmp"` and renamed
+/// into place only once complete, so an interrupted save leaves the
+/// previous checkpoint intact — never a torn file.
 void save_model(const ecnn::QuantizedNetwork& net, const std::string& path,
                 const CheckpointPlanMeta* plan = nullptr);
 

@@ -1,8 +1,10 @@
 #include "serve/pipeline.h"
 
 #include <chrono>
+#include <string>
 
 #include "common/contracts.h"
+#include "common/fault_injection.h"
 
 namespace sne::serve {
 
@@ -59,6 +61,7 @@ Ticket PipelineDeployment::submit(event::EventStream input) {
   job->input = std::move(input);
   job->ticket = std::make_shared<detail::TicketState>();
   job->submitted_at = std::chrono::steady_clock::now();
+  job->stage_enqueued_at = job->submitted_at;
   {
     std::lock_guard<std::mutex> lk(submit_m_);
     job->ticket->id = next_id_++;
@@ -81,42 +84,72 @@ std::vector<ecnn::NetworkRunStats> PipelineDeployment::run(
 }
 
 void PipelineDeployment::stage_loop(std::size_t s) {
-  // Each stage owns one pooled engine for its whole lifetime; requests on
-  // the stage reset it, so every request sees a machine indistinguishable
-  // from new. Nothing may escape this thread function (std::terminate), so
-  // a failed engine construction is held and lands on every job's ticket
-  // instead.
+  // Each stage owns one pooled engine at a time; requests on the stage
+  // reset it, so every request sees a machine indistinguishable from new.
+  // Nothing may escape this thread function (std::terminate), so every
+  // failure lands on a job's ticket instead.
+  const auto [first, last] = ranges_[s];
   std::optional<ecnn::EnginePool::Lease> lease;
   std::exception_ptr stage_error;
-  try {
-    lease.emplace(pool_.acquire(model_fp_));
-  } catch (...) {
-    stage_error = std::current_exception();
-  }
-  const auto [first, last] = ranges_[s];
-  if (!stage_error && opts_.weight_resident && opts_.warmup_timesteps > 0) {
-    // Deploy-time programming: install the stage's layer range before any
-    // traffic, so even the first request runs weight-resident. Programming
-    // counters are deployment cost, charged to no request.
+  // (Re)spawn the stage's engine: acquire a lease and redo the deploy-time
+  // programming. Called at startup and again after a failure quarantined
+  // the previous engine — this is what makes a stage fault degrade to one
+  // failed job instead of a dead pipeline. Programming counters are
+  // deployment (or recovery) cost, charged to no request.
+  const auto spawn = [&, first = first, last = last] {
+    stage_error = nullptr;
     try {
-      for (std::size_t li = first; li < last; ++li)
-        lease->runner().program_layer(net_.layers[li], opts_.warmup_timesteps,
-                                      model_fp_, li);
+      lease.reset();  // a poisoned lease destructs here -> pool discards
+      lease.emplace(pool_.acquire(model_fp_));
+      if (opts_.weight_resident && opts_.warmup_timesteps > 0)
+        for (std::size_t li = first; li < last; ++li)
+          lease->runner().program_layer(net_.layers[li],
+                                        opts_.warmup_timesteps, model_fp_, li);
     } catch (...) {
       stage_error = std::current_exception();
     }
-  }
+  };
+  const auto diagnose = [&, s, first = first, last = last](
+                            const std::string& cause) {
+    return std::make_exception_ptr(StageError(
+        "pipeline stage " + std::to_string(s) + " (layers [" +
+        std::to_string(first) + "," + std::to_string(last) + ")) " + cause));
+  };
+  spawn();
   const bool is_last = s + 1 == queues_.size();
+  const bool watchdog = opts_.stage_timeout_ms > 0.0;
+  const auto tick = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(
+          watchdog ? opts_.stage_timeout_ms : 100.0));
   for (;;) {
-    std::optional<JobPtr> popped = queues_[s]->pop();
-    if (!popped) break;  // closed and drained
-    JobPtr job = std::move(*popped);
+    JobPtr job;
+    const auto popped = queues_[s]->pop_for(tick, job);
+    if (popped == BoundedQueue<JobPtr>::PopStatus::kTimeout) continue;
+    if (popped == BoundedQueue<JobPtr>::PopStatus::kClosed) break;
+    // Watchdog: judge stream-queue wait before spending engine time on a
+    // job nobody upstream could serve in budget (a stalled stage sheds its
+    // backlog with diagnosable errors instead of clogging the pipe).
+    if (watchdog && !job->failed) {
+      const double waited_ms = detail::ms_since(job->stage_enqueued_at);
+      if (waited_ms > opts_.stage_timeout_ms) {
+        job->failed = true;
+        job->ticket->fail(
+            diagnose("watchdog: job waited " + std::to_string(waited_ms) +
+                     " ms in the stream queue (budget " +
+                     std::to_string(opts_.stage_timeout_ms) + " ms)"),
+            detail::ms_since(job->submitted_at));
+      }
+    }
+    // A failed (re)spawn is retried per job; only if the pool still cannot
+    // produce an engine does the job fail.
+    if (!job->failed && stage_error) spawn();
     if (!job->failed && stage_error) {
       job->failed = true;
       job->ticket->fail(stage_error, detail::ms_since(job->submitted_at));
     }
     if (!job->failed) {
       try {
+        faults::check("serve.pipeline.stage");
         // Weight-resident stages keep their programming across jobs; the
         // machine reset alone restores a state indistinguishable (for the
         // relaxed tier) from the full reset + reprogram of the cold path.
@@ -138,10 +171,20 @@ void PipelineDeployment::stage_loop(std::size_t s) {
           job->acc.passes_warm += layer.passes_warm;
           job->acc.layers.push_back(std::move(layer));
         }
+      } catch (const std::exception& e) {
+        job->failed = true;
+        job->ticket->fail(diagnose(std::string("failed: ") + e.what()),
+                          detail::ms_since(job->submitted_at));
+        // The engine ran an unknown fraction of the job: quarantine it and
+        // respawn so the next job gets a provably clean machine.
+        if (lease) lease->poison();
+        spawn();
       } catch (...) {
         job->failed = true;
-        job->ticket->fail(std::current_exception(),
+        job->ticket->fail(diagnose("failed: unknown exception"),
                           detail::ms_since(job->submitted_at));
+        if (lease) lease->poison();
+        spawn();
       }
     }
     if (is_last) {
@@ -153,6 +196,7 @@ void PipelineDeployment::stage_loop(std::size_t s) {
     } else {
       // Failed jobs still flow downstream (cheap: stages skip them) so the
       // close-propagation order stays the only shutdown protocol.
+      job->stage_enqueued_at = std::chrono::steady_clock::now();
       queues_[s + 1]->push(std::move(job));
     }
   }

@@ -31,6 +31,15 @@
 // post-programming counters stay bitwise identical to the serial cold
 // reference, and the counter delta is exactly the skipped programming
 // (test_serve pins the arithmetic identity).
+//
+// Graceful degradation: a stage whose engine throws mid-job fails *that*
+// job with a diagnosable StageError (stage index, layer range, cause),
+// poisons its lease (the pool quarantines the engine) and respawns on a
+// fresh engine — subsequent jobs succeed. With
+// PipelineOptions::stage_timeout_ms set, a stage watchdog fails jobs whose
+// stream-queue wait exceeded the budget (a stuck or slow upstream stage)
+// instead of letting them clog the pipe. tests/test_faults.cpp drives both
+// under the sne::faults injector.
 #pragma once
 
 #include <chrono>
@@ -71,6 +80,20 @@ struct PipelineOptions {
   /// request is served warm (deployment pays the programming, no request
   /// does). 0 = lazy: the first request on each stage programs it.
   std::uint16_t warmup_timesteps = 0;
+  /// Stage watchdog budget: a job that waited longer than this in a stage's
+  /// stream queue is failed with a diagnosable StageError instead of being
+  /// run — a stuck or slow stage sheds its backlog rather than clogging the
+  /// pipe. 0 (default) disables the watchdog.
+  double stage_timeout_ms = 0.0;
+};
+
+/// A pipeline stage failure, wrapped with the stage index and layer range so
+/// a client (or an operator reading logs) can tell *where* the pipeline
+/// degraded without cross-referencing deployment internals. The cause's
+/// what() is embedded.
+class StageError : public std::runtime_error {
+ public:
+  explicit StageError(const std::string& what) : std::runtime_error(what) {}
 };
 
 class PipelineDeployment {
@@ -104,6 +127,9 @@ class PipelineDeployment {
     ecnn::NetworkRunStats acc;  ///< grows by one layer entry per layer
     std::shared_ptr<detail::TicketState> ticket;
     std::chrono::steady_clock::time_point submitted_at;
+    /// Stamp of the last stream-queue push (admission or inter-stage); the
+    /// stage watchdog judges queue wait against it.
+    std::chrono::steady_clock::time_point stage_enqueued_at;
     bool failed = false;
   };
   using JobPtr = std::unique_ptr<Job>;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
+
 namespace sne::serve {
 
 namespace {
@@ -56,7 +58,8 @@ InferenceServer::~InferenceServer() {
 }
 
 InferenceServer::Request InferenceServer::make_request(
-    const std::string& model, event::EventStream input) {
+    const std::string& model, event::EventStream input,
+    const RequestOptions& ropts) {
   Request req;
   // Snapshot + fingerprint resolve atomically (throws on unknown models);
   // a re-point mid-flight can never pair one model's weights with
@@ -67,6 +70,7 @@ InferenceServer::Request InferenceServer::make_request(
   req.input = std::move(input);
   req.ticket = std::make_shared<detail::TicketState>();
   req.submitted_at = std::chrono::steady_clock::now();
+  req.deadline = ropts.deadline;
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     req.ticket->id = next_id_++;
@@ -74,10 +78,27 @@ InferenceServer::Request InferenceServer::make_request(
   return req;
 }
 
+bool InferenceServer::shed_if_expired(Request& req) {
+  if (!req.deadline || std::chrono::steady_clock::now() < *req.deadline)
+    return false;
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    ++shed_;
+  }
+  // Shed requests never count as submitted: drain() tracks admitted work,
+  // and this request is answered (with its failure) before admission.
+  req.ticket->fail(std::make_exception_ptr(DeadlineExceeded(
+                       "shed at admission: request deadline already passed")),
+                   detail::ms_since(req.submitted_at));
+  return true;
+}
+
 Ticket InferenceServer::submit(const std::string& model,
-                               event::EventStream input) {
-  Request req = make_request(model, std::move(input));
+                               event::EventStream input,
+                               RequestOptions ropts) {
+  Request req = make_request(model, std::move(input), ropts);
   const Ticket ticket{req.ticket};
+  if (shed_if_expired(req)) return ticket;
   // Count *before* the push: once a request is in the queue it must be
   // covered by submitted_, or drain() could observe completed == submitted
   // while a pushed-but-uncounted request is still in flight.
@@ -97,9 +118,11 @@ Ticket InferenceServer::submit(const std::string& model,
 }
 
 std::optional<Ticket> InferenceServer::try_submit(const std::string& model,
-                                                  event::EventStream input) {
-  Request req = make_request(model, std::move(input));
+                                                  event::EventStream input,
+                                                  RequestOptions ropts) {
+  Request req = make_request(model, std::move(input), ropts);
   const Ticket ticket{req.ticket};
+  if (shed_if_expired(req)) return ticket;
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     ++submitted_;
@@ -123,38 +146,83 @@ std::optional<Ticket> InferenceServer::try_submit(const std::string& model,
 }
 
 void InferenceServer::worker_loop() {
+  // Timed pop instead of a parked pop(): the tick is only a liveness
+  // heartbeat (nothing deadline-related is checked while idle — expiry is
+  // judged per-request at dispatch), but it keeps the loop structurally
+  // ready for periodic housekeeping and bounds how long shutdown can lag
+  // behind close().
+  constexpr auto kTick = std::chrono::milliseconds(100);
   for (;;) {
-    std::optional<Request> req = queue_.pop();
-    if (!req) return;  // closed and drained
-    process(*req);
+    Request req;
+    switch (queue_.pop_for(kTick, req)) {
+      case BoundedQueue<Request>::PopStatus::kTimeout:
+        continue;
+      case BoundedQueue<Request>::PopStatus::kClosed:
+        return;  // closed and drained
+      case BoundedQueue<Request>::PopStatus::kItem:
+        process(req);
+        break;
+    }
   }
 }
 
 void InferenceServer::process(Request& req) {
   ecnn::NetworkRunStats result;
   std::exception_ptr error;
+  bool deadline_expired = false;
+  // Expired-in-queue requests fail fast without touching an engine: the
+  // queue already burned their budget, and simulating work nobody will
+  // consume only delays the requests behind them.
+  if (req.deadline && std::chrono::steady_clock::now() >= *req.deadline) {
+    deadline_expired = true;
+    error = std::make_exception_ptr(DeadlineExceeded(
+        "expired in queue: deadline passed before dispatch"));
+  }
   // Warm dispatch only makes sense on pooled engines: a fresh-construct
   // engine can never hold resident weights.
   const std::uint64_t fp =
       opts_.reuse_engines && opts_.warm_weights ? req.model_fp : 0;
-  try {
-    if (opts_.reuse_engines) {
-      ecnn::EnginePool::Lease lease = pool_.acquire(fp);
-      result = lease.runner().run(*req.model, req.input, opts_.policy, fp);
-    } else {
-      // Fresh-construct baseline: what serving costs without the pool.
-      core::SneEngine engine(hw_, opts_.memory_words, opts_.mem_timing);
-      ecnn::NetworkRunner runner(engine, opts_.use_wload_stream);
-      result = runner.run(*req.model, req.input, opts_.policy);
+  for (unsigned attempt = 0; !error; ++attempt) {
+    try {
+      if (opts_.reuse_engines) {
+        // The lease lives inside the try scope: when the run throws, the
+        // poisoned lease destructs (the pool discards the engine and frees
+        // its capacity slot) *before* the retry acquires — so retries never
+        // deadlock, even on a max_engines=1 pool.
+        ecnn::EnginePool::Lease lease = pool_.acquire(fp);
+        try {
+          faults::check("serve.server.dispatch");
+          result = lease.runner().run(*req.model, req.input, opts_.policy, fp);
+        } catch (...) {
+          lease.poison();
+          throw;
+        }
+      } else {
+        // Fresh-construct baseline: what serving costs without the pool.
+        core::SneEngine engine(hw_, opts_.memory_words, opts_.mem_timing);
+        ecnn::NetworkRunner runner(engine, opts_.use_wload_stream);
+        faults::check("serve.server.dispatch");
+        result = runner.run(*req.model, req.input, opts_.policy);
+      }
+      break;  // dispatched cleanly
+    } catch (...) {
+      if (attempt < opts_.retry_budget) {
+        // Retry on a freshly acquired engine. Fresh/reset engines are
+        // bitwise identical, so the retried result equals the fault-free
+        // run exactly — the failure is invisible to the caller.
+        std::lock_guard<std::mutex> lk(stats_m_);
+        ++retried_;
+        continue;
+      }
+      error = std::current_exception();
     }
-  } catch (...) {
-    error = std::current_exception();
   }
   const double lat_ms = ms_since(req.submitted_at);
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     if (error) {
       ++failed_;
+      if (deadline_expired) ++expired_;
     } else {
       ++completed_;
       total_sim_cycles_ += result.cycles;
@@ -194,6 +262,9 @@ ServerStats InferenceServer::stats() const {
     s.completed = completed_;
     s.failed = failed_;
     s.rejected = rejected_;
+    s.shed = shed_;
+    s.expired = expired_;
+    s.retried = retried_;
     s.total_sim_cycles = total_sim_cycles_;
     s.passes_warm = passes_warm_;
     s.passes_total = passes_total_;
@@ -219,6 +290,8 @@ ServerStats InferenceServer::stats() const {
   s.engines_constructed = ps.constructed;
   s.engine_leases = ps.leases;
   s.engine_warm_leases = ps.warm_leases;
+  s.engines_quarantined = ps.quarantined;
+  s.engines_discarded = ps.discarded;
   return s;
 }
 

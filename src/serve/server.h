@@ -20,6 +20,15 @@
 // test_serve pins served results bitwise against the serial
 // BatchRunner::run_one reference for shuffled submission orders and every
 // worker count.
+//
+// Fault tolerance: requests can carry a deadline (RequestOptions) — expired
+// work is shed at admission or pre-dispatch with a DeadlineExceeded ticket,
+// never simulated. A dispatch that throws poisons its engine lease (the
+// pool quarantines and rebuilds the engine, see ecnn::EnginePool) and the
+// request retries on a fresh engine within ServeOptions::retry_budget;
+// since fresh engines are bitwise identical to reset ones, retried results
+// equal the fault-free run exactly. tests/test_faults.cpp drives all of it
+// under the deterministic sne::faults injector.
 #pragma once
 
 #include <chrono>
@@ -63,13 +72,49 @@ struct ServeOptions {
   std::size_t memory_words = (1u << 22);
   hwsim::MemoryTiming mem_timing{};
   event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly;
+  /// Fault tolerance: how many times a request whose dispatch threw is
+  /// retried on a freshly acquired engine before its ticket fails. The
+  /// throwing lease is poisoned (the pool discards the engine), and because
+  /// cold runs on fresh/reset engines are bitwise identical, a retried
+  /// request's result equals the fault-free run exactly — retries are
+  /// invisible to the equivalence contract (tests/test_faults.cpp pins it).
+  unsigned retry_budget = 1;
+};
+
+/// Per-request submission options.
+struct RequestOptions {
+  /// Absolute completion deadline. A request whose deadline has passed is
+  /// *never simulated*: at admission it is shed (ticket fails immediately
+  /// with DeadlineExceeded, nothing enqueued, ServerStats::shed); popped by
+  /// a worker after the queue age burned the budget it expires
+  /// (ServerStats::expired). nullopt = wait forever (the pre-PR-6 default).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Deadline `budget` from now — the common client idiom.
+  static RequestOptions within(std::chrono::steady_clock::duration budget) {
+    RequestOptions o;
+    o.deadline = std::chrono::steady_clock::now() + budget;
+    return o;
+  }
 };
 
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;    ///< completed with an exception on the ticket
+  /// Tickets that completed with an exception — dispatch failures that
+  /// exhausted the retry budget plus deadline expiries (the `expired`
+  /// sub-count below). completed + failed always reaches submitted.
+  std::uint64_t failed = 0;
   std::uint64_t rejected = 0;  ///< try_submit refusals (queue full)
+  /// Deadline accounting (requests failed fast, never simulated):
+  /// shed at admission (deadline already passed at submit; not counted in
+  /// submitted/failed) vs expired pre-dispatch (queue age burned the
+  /// budget; counted in failed too).
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  /// Dispatch retry attempts after an exception (bounded per request by
+  /// ServeOptions::retry_budget); the throwing engines are quarantined.
+  std::uint64_t retried = 0;
   std::size_t queue_depth = 0;
   std::size_t peak_queue_depth = 0;
   double elapsed_s = 0.0;         ///< since server construction
@@ -91,6 +136,11 @@ struct ServerStats {
   std::uint64_t engine_warm_leases = 0;
   std::uint64_t passes_warm = 0;
   std::uint64_t passes_total = 0;
+  /// Quarantine effectiveness: leases that observed an exception and were
+  /// discarded instead of released (EnginePool::Stats pass-through). A
+  /// poisoned engine is never re-leased.
+  std::uint64_t engines_quarantined = 0;
+  std::uint64_t engines_discarded = 0;
 };
 
 class InferenceServer {
@@ -105,14 +155,20 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Admits a request, blocking while the queue is full. Throws ConfigError
-  /// when the model is unknown or the server is shutting down.
-  Ticket submit(const std::string& model, event::EventStream input);
+  /// when the model is unknown or the server is shutting down. A request
+  /// whose deadline already passed is shed: the returned ticket fails with
+  /// DeadlineExceeded without ever touching the queue.
+  Ticket submit(const std::string& model, event::EventStream input,
+                RequestOptions ropts = {});
 
   /// Non-blocking admission: nullopt (and a `rejected` tick) when the queue
   /// is full. Throws ConfigError when the model is unknown or the server is
   /// shutting down (shutdown is not overload; retry loops must not spin).
+  /// Expired deadlines shed like submit() (a returned, already-failed
+  /// ticket — shedding is an answer, not overload).
   std::optional<Ticket> try_submit(const std::string& model,
-                                   event::EventStream input);
+                                   event::EventStream input,
+                                   RequestOptions ropts = {});
 
   /// Blocks until every admitted request has completed.
   void drain();
@@ -129,9 +185,15 @@ class InferenceServer {
     event::EventStream input;
     std::shared_ptr<detail::TicketState> ticket;
     std::chrono::steady_clock::time_point submitted_at;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
-  Request make_request(const std::string& model, event::EventStream input);
+  Request make_request(const std::string& model, event::EventStream input,
+                       const RequestOptions& ropts);
+  /// Sheds `req` at admission when its deadline has already passed: fails
+  /// the ticket with DeadlineExceeded and counts `shed`. Returns whether it
+  /// shed (the caller then skips the queue entirely).
+  bool shed_if_expired(Request& req);
   void worker_loop();
   void process(Request& req);
 
@@ -149,6 +211,9 @@ class InferenceServer {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t retried_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t total_sim_cycles_ = 0;
   std::uint64_t passes_warm_ = 0;

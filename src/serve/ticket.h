@@ -19,6 +19,16 @@
 
 namespace sne::serve {
 
+/// The fate of a request whose deadline passed before it could run: shed at
+/// admission or expired in the queue, failed fast without simulating
+/// anything. Distinct from ConfigError (caller mistakes) and FaultError
+/// (injected chaos) so clients can branch on "retry with a longer budget".
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 
 /// Wall time since `t0` in milliseconds (request-latency stamps).
@@ -76,6 +86,21 @@ class Ticket {
     s.cv.wait(lk, [&s] { return s.done; });
     if (s.error) std::rethrow_exception(s.error);
     return s.result;
+  }
+
+  enum class WaitStatus { kReady, kTimeout };
+
+  /// Timed wait: kReady once the request completed (wait() will not block
+  /// and returns/rethrows immediately), kTimeout if it is still in flight
+  /// when `timeout` elapses. The building block for client-side deadlines —
+  /// unlike wait(), this never blocks forever behind an overloaded queue.
+  WaitStatus wait_for(std::chrono::nanoseconds timeout) const {
+    SNE_EXPECTS(state_ != nullptr);
+    detail::TicketState& s = *state_;
+    std::unique_lock<std::mutex> lk(s.m);
+    return s.cv.wait_for(lk, timeout, [&s] { return s.done; })
+               ? WaitStatus::kReady
+               : WaitStatus::kTimeout;
   }
 
   bool done() const {

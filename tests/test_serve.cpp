@@ -273,6 +273,49 @@ TEST(CheckpointTest, RejectsCorruption) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, TornWriteAtEveryWordBoundaryIsRejected) {
+  // The format is a stream of 4-byte words: a torn write (crash mid-save
+  // without the atomic-rename protocol) can cut the file at any section
+  // boundary. Every word-aligned prefix must be rejected — header, plan
+  // meta, each layer record, the weight payload, and the checksum word.
+  const QuantizedNetwork net = three_layer_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  const serve::CheckpointPlanMeta meta = serve::plan_metadata(net, hw, 10);
+  const std::string path = temp_path("ckpt_torn.snem");
+  serve::save_model(net, path, &meta);
+  const std::string good = slurp(path);
+  ASSERT_EQ(good.size() % 4, 0u);
+  for (std::size_t cut = 0; cut < good.size(); cut += 4) {
+    spit(path, good.substr(0, cut));
+    EXPECT_THROW(serve::load_model(path), ConfigError) << "cut " << cut;
+  }
+  spit(path, good);
+  EXPECT_NO_THROW(serve::load_model(path));
+  std::remove(path.c_str());
+}
+
+TEST(RegistryTest, FailedReloadKeepsLastGoodSnapshot) {
+  // A corrupt checkpoint on a re-point must not take the name down: the
+  // registry installs the new snapshot only after a fully successful load,
+  // so the previous model keeps serving.
+  const QuantizedNetwork net = three_layer_net();
+  const std::string path = temp_path("ckpt_lastgood_corrupt.snem");
+  serve::save_model(net, path);
+
+  serve::ModelRegistry registry;
+  registry.load_file("m", path);
+  const auto before = registry.get("m");
+
+  const std::string good = slurp(path);
+  spit(path, good.substr(0, good.size() / 2));  // torn replacement file
+  EXPECT_THROW(registry.load_file("m", path), ConfigError);
+  EXPECT_EQ(registry.get("m"), before);  // the exact snapshot, not a copy
+
+  spit(path, good);
+  EXPECT_NO_THROW(registry.load_file("m", path));
+  std::remove(path.c_str());
+}
+
 // --- registry ----------------------------------------------------------------
 
 TEST(RegistryTest, NamedResidentModels) {
