@@ -115,7 +115,9 @@ BENCHMARK(BM_CycleAccurateLayer)
 // timed loop; each iteration is one engine.run() (engine reuse is
 // state-equivalent: the program starts with an RST wipe). Arg 0: number of
 // slices; arg 1: engine mode (0 = per-cycle reference, 1 = PR 1's
-// fast-forward only, 2 = fast-forward + batched drain engine). All modes
+// fast-forward only, 2 = fast-forward + batched drain engine); arg 2:
+// num_output_dmas (the paper IV-A.3 bandwidth-scaling knob — the D-wide
+// steady-state rotation must hold its compression as D grows). All modes
 // report identical sim_cycles_per_s denominators (bit-identical cycles, see
 // test_fastforward's DrainEquivalence suite); only wall-clock differs.
 void BM_DenseSpikingLayer(benchmark::State& state) {
@@ -141,6 +143,7 @@ void BM_DenseSpikingLayer(benchmark::State& state) {
   core::SneConfig hw = core::SneConfig::paper_design_point(slices);
   hw.fast_forward = state.range(1) >= 1;
   hw.drain_batching = state.range(1) >= 2;
+  hw.num_output_dmas = static_cast<std::uint32_t>(state.range(2));
   core::SneEngine engine(hw);
   ecnn::Mapper mapper(hw);
   const ecnn::LayerPlan plan = mapper.plan(layer, in.geometry().timesteps);
@@ -184,8 +187,74 @@ void BM_DenseSpikingLayer(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DenseSpikingLayer)
-    ->Args({8, 2})->Args({8, 1})->Args({8, 0})
-    ->Args({4, 2})->Args({4, 1})
+    ->Args({8, 2, 1})->Args({8, 1, 1})->Args({8, 0, 1})
+    ->Args({4, 2, 1})->Args({4, 1, 1})
+    // Multi-DMA drain: D grants per cycle through the rotating collector.
+    ->Args({8, 2, 2})->Args({8, 1, 2})
+    ->Args({8, 2, 4})->Args({8, 1, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Pipeline-routed drain workload: a spike-dense first conv stage chained
+// into a second stage through the C-XBAR (paper III-D.5, pipeline operating
+// mode). Decode boundaries recur every few cycles on the downstream slice,
+// so the batched drain kernel hosts them via the full tick() dispatch
+// instead of exiting back to the generic loop — this bench prices exactly
+// that path. Arg 0: engine mode (0 = per-cycle reference, 1 = fast-forward,
+// 2 = fast-forward + batched drain engine). All modes report identical
+// sim_cycles_per_s denominators (DrainEquivalence's pipeline suites pin
+// bit-exactness); only wall-clock differs.
+void BM_DenseSpikingLayerPipeRouted(benchmark::State& state) {
+  const auto stage = [](std::uint16_t in_ch, std::uint16_t out_ch,
+                        std::int32_t v_th, std::uint64_t seed) {
+    ecnn::QuantizedLayerSpec l;
+    l.type = ecnn::LayerSpec::Type::kConv;
+    l.name = "stage" + std::to_string(seed);
+    l.in_ch = in_ch;
+    l.in_w = 16;
+    l.in_h = 16;
+    l.out_ch = out_ch;
+    l.kernel = 3;
+    l.stride = 1;
+    l.pad = 1;
+    l.weights.resize(static_cast<std::size_t>(out_ch) * in_ch * 9);
+    Rng rng(seed);
+    for (auto& w : l.weights)
+      w = static_cast<std::int8_t>(rng.uniform_int(1, 5));
+    l.lif.v_th = v_th;
+    l.lif.leak = 1;
+    return l;
+  };
+  ecnn::QuantizedNetwork net;
+  net.layers.push_back(stage(1, 2, 0, 67));  // dense: fires at every scan
+  net.layers.push_back(stage(2, 2, 6, 71));
+  const auto in = data::random_stream({1, 16, 16, 16}, 0.15, 177);
+
+  core::SneConfig hw = core::SneConfig::paper_design_point(2);
+  hw.fast_forward = state.range(0) >= 1;
+  hw.drain_batching = state.range(0) >= 2;
+  core::SneEngine engine(hw);
+  const auto geom = ecnn::build_pipeline(engine, net, in.geometry().timesteps);
+  const std::vector<event::Beat> program =
+      in.with_control_events(event::FirePolicy::kActiveStepsOnly).to_beats();
+  core::RunOptions opts;
+  opts.out_geometry = geom;
+  opts.materialize_output = false;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto r = engine.run(program, opts);
+    cycles += r.cycles;
+    events += r.counters.output_events;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["out_events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseSpikingLayerPipeRouted)
+    ->Arg(2)->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
 // Dataset-level batch simulation: N independent samples simulated across a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <numeric>
 #include <sstream>
 
 namespace sne::core {
@@ -82,6 +83,21 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
   // lets pooled engines and pipeline stages reproduce the serial reference
   // bit for bit (sne::serve pins it).
   collector_arb_.reset();
+
+  // Stream-split stall RNG: key the run's contention stream by the program
+  // *contents* (FNV-1a over the beats). Content keying — not a stage or run
+  // index — is what makes the tier invariant across stage/worker counts:
+  // identical per-layer programs draw identical stall patterns wherever they
+  // execute, and warm runs that skip a WLOAD program skip exactly that
+  // program's private stream. No-op under the legacy whole-engine ordering.
+  if (mem_.timing().rng_streams) {
+    std::uint64_t key = 0xcbf29ce484222325ull;
+    for (const event::Beat b : program) {
+      key ^= b;
+      key *= 0x100000001b3ull;
+    }
+    mem_.begin_stream(key);
+  }
 
   mem_.load(0, program);
   in_dma_.start(0, program.size());
@@ -297,11 +313,23 @@ std::uint64_t SneEngine::drain_burst(hwsim::ActivityCounters& c,
         incoming |= 1ull << dest;
     bool ok = true;
     bool any_work = false;
+    std::uint64_t full_tick = 0;  // decode-boundary slices, ticked in full
     for (std::size_t i = 0; i < slices_.size(); ++i) {
       const Slice& sl = slices_[i];
       if (!sl.drain_cycle_ok(incoming >> i & 1)) {
-        ok = false;
-        break;
+        // Pipeline-routed drains hit decode boundaries (a hop landing in an
+        // idle slice, a drain finishing into queued input, a countdown
+        // retiring) every few cycles; abandoning the kernel there pays the
+        // generic loop's full scan per drained event. Instead those slices
+        // run the full tick() dispatch inside the kernel cycle — exact by
+        // construction, drain_tick() being a specialization of tick() —
+        // while the states that profit from the generic loop (WLOAD,
+        // reference-path sweeps) still exit.
+        if (pipe_routes_.empty() || !sl.drain_kernel_tick_ok()) {
+          ok = false;
+          break;
+        }
+        full_tick |= 1ull << i;
       }
       if (sl.draining() || !sl.out_fifo().empty()) any_work = true;
     }
@@ -324,11 +352,21 @@ std::uint64_t SneEngine::drain_burst(hwsim::ActivityCounters& c,
     }
 
     // One kernel cycle: the exact component order of tick(), with the
-    // specialized slice drain step instead of the full tick dispatch.
+    // specialized slice drain step instead of the full tick dispatch
+    // (decode-boundary slices get the full dispatch).
     for (auto& dma : out_dmas_) dma.tick(c);
     collector_tick(c);
     xbar_slice_moves(c);
-    for (auto& sl : slices_) sl.drain_tick(c);
+    if (full_tick == 0) {
+      for (auto& sl : slices_) sl.drain_tick(c);
+    } else {
+      for (std::size_t i = 0; i < slices_.size(); ++i) {
+        if (full_tick >> i & 1)
+          slices_[i].tick(c);
+        else
+          slices_[i].drain_tick(c);
+      }
+    }
     xbar_input_move(c);
     in_dma_.tick(c);
     c.cycles++;
@@ -425,9 +463,8 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
     r.writes = 0;
     r.appended = 0;
     r.space = out_dmas_[d].region_space();
-    r.staged.clear();
-    for (std::size_t k = 0; k < fifo.size(); ++k)
-      r.staged.push_back(fifo.at(k));
+    r.staged.resize(fifo.size());
+    fifo.copy_to(r.staged.data());
   }
 
   // Replay the round-robin interleaving on counts and cursors. Each
@@ -464,15 +501,30 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
     }
 
     // --- steady-state block ------------------------------------------------
-    // With a single output DMA, the drain settles into a strictly periodic
-    // regime: every cycle writes one word, grants one slice in round-robin
-    // rotation, and the granted slice refills its out FIFO from its cluster
-    // queues — while every emitting slice is parked on a full cluster and
-    // every state machine is frozen. The block advances K such cycles with
-    // one event move per iteration and charges the per-cycle activity
-    // (stalls, busy cycles) arithmetically.
-    if (out_dmas_.size() == 1 && steady_dirty && drain_dmas_[0].count >= 1 &&
-        request != 0) {
+    // With every output DMA holding at least one word and the request set at
+    // least D wide, the drain settles into a strictly periodic regime: every
+    // cycle each DMA writes one word and grants one slice — D grants per
+    // cycle sharing one round-robin rotation over the M requesting members,
+    // so consecutive grants visit consecutive members and each cycle's D
+    // grants hit D *distinct* members — and each granted emitter refills its
+    // out FIFO from its cluster queues the same cycle, while every state
+    // machine is frozen. Grant k of the block goes to rotation position
+    // k mod M and DMA k mod D; blocks of lcm(M, D) grants return both
+    // assignments to their start, so the model advances whole blocks with
+    // one event move per grant and charges the per-cycle activity (stalls,
+    // busy cycles) arithmetically. At D == 1 this is exactly the former
+    // single-DMA closed form. The occupancy preconditions (DMA counts,
+    // D <= M) sit outside the dirty flag, like the old count >= 1 check:
+    // they can become true through pure per-cycle drain cycles.
+    bool steady_ready = steady_dirty && request != 0;
+    const std::uint64_t dmas = out_dmas_.size();
+    if (steady_ready) {
+      if (dmas > static_cast<std::uint64_t>(std::popcount(request)))
+        steady_ready = false;
+      for (std::size_t d = 0; d < dmas && steady_ready; ++d)
+        steady_ready = drain_dmas_[d].count >= 1;
+    }
+    if (steady_ready) {
       std::uint64_t rounds = kNeverActive;  // per-member grant allowance
       std::uint32_t busy_members = 0;
       std::uint64_t stall_members = 0;  // bitmask of parked FIRE slices
@@ -529,64 +581,84 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
       const std::uint64_t members =
           static_cast<std::uint64_t>(std::popcount(request));
       if (steady && rounds != kNeverActive && rounds > 0) {
-        DmaReplay& r0 = drain_dmas_[0];
-        // Whole rotation rounds only: every member then receives exactly
-        // `turns` grants, at a fixed stride in the staged word stream.
-        std::uint64_t turns = rounds;
-        turns = std::min(turns, (limit - span) / members);
-        turns = std::min(
-            turns,
-            (static_cast<std::uint64_t>(r0.space) - r0.writes) / members);
-        const std::uint64_t block = turns * members;
-        if (block > 0) {
+        // Whole lcm(M, D)-grant blocks only: every member then receives
+        // exactly `turns` grants and every DMA stages exactly `cycles`
+        // words, at fixed strides in the grant stream.
+        const std::uint64_t gcd_md = std::gcd(members, dmas);
+        const std::uint64_t gpm = dmas / gcd_md;  // grants/member per block
+        const std::uint64_t cpb = members / gcd_md;  // cycles per block
+        std::uint64_t blocks = rounds / gpm;
+        blocks = std::min(blocks, (limit - span) / cpb);
+        for (std::size_t d = 0; d < dmas; ++d) {
+          const DmaReplay& r = drain_dmas_[d];
+          blocks = std::min(
+              blocks,
+              (static_cast<std::uint64_t>(r.space) - r.writes) / cpb);
+        }
+        const std::uint64_t turns = blocks * gpm;   // grants per member
+        const std::uint64_t cycles = blocks * cpb;  // machine cycles
+        if (blocks > 0) {
           std::uint64_t ups = 0;
-          const std::size_t base = r0.staged.size();
-          r0.staged.resize(base + block);
-          std::size_t rot = 0;  // member position in the rotation
-          for (std::uint64_t i = 0; i < members; ++i, ++rot) {
+          std::array<std::size_t, 16> sbase{};  // staged base per DMA
+          for (std::size_t d = 0; d < dmas; ++d) {
+            DmaReplay& r = drain_dmas_[d];
+            sbase[d] = r.staged.size();
+            r.staged.resize(sbase[d] + cycles);
+          }
+          for (std::uint64_t rot = 0; rot < members; ++rot) {
             const std::size_t g =
                 hwsim::RoundRobinArbiter::first_from(cursor, request);
             cursor = g + 1 == ports ? 0 : g + 1;
             DrainParticipant& p = drain_parts_[part_of[g] - 1];
             auto& rep = p.replay;
-            event::Beat* dst = r0.staged.data() + base + rot;
             if (rep.pending > 0) {
               // Emitting member: each grant is refilled the same cycle by
               // its cluster collector, so the out window slides in place.
               rep.out_seq.reserve(rep.out_seq.size() + turns);
-              for (std::uint64_t j = 0; j < turns; ++j) {
-                dst[j * members] = event::pack(rep.out_seq[p.granted + j]);
+              std::uint64_t i = rot;  // flat grant index of grant j
+              for (std::uint64_t j = 0; j < turns; ++j, i += members) {
+                const std::size_t dd = i % dmas;
+                drain_dmas_[dd].staged[sbase[dd] + i / dmas] =
+                    event::pack(rep.out_seq[p.granted + j]);
                 const std::size_t cg = hwsim::RoundRobinArbiter::first_from(
                     rep.arb_cursor, rep.nonempty);
-                rep.out_seq.push_back(rep.queue[cg][rep.head[cg]++]);
-                rep.full &= ~(1ull << cg);
-                if (--rep.count[cg] == 0) rep.nonempty &= ~(1ull << cg);
+                rep.out_seq.push_back(rep.qpop(cg));
                 rep.arb_cursor = cg + 1 == rep.arb_ports ? 0 : cg + 1;
               }
               rep.pending -= static_cast<std::uint32_t>(turns);
               p.granted += static_cast<std::uint32_t>(turns);
               ups += turns;
             } else {
-              // Passive source: drains its remnants, no refill.
-              for (std::uint64_t j = 0; j < turns; ++j)
-                dst[j * members] = event::pack(rep.out_seq[p.granted + j]);
+              // Passive source: drains its remnants, no refill. Its last
+              // grant is its final one of the block, so a bit cleared here
+              // is never rescanned by the remaining rotation positions.
+              std::uint64_t i = rot;
+              for (std::uint64_t j = 0; j < turns; ++j, i += members) {
+                const std::size_t dd = i % dmas;
+                drain_dmas_[dd].staged[sbase[dd] + i / dmas] =
+                    event::pack(rep.out_seq[p.granted + j]);
+              }
               p.granted += static_cast<std::uint32_t>(turns);
               rep.out_count -= static_cast<std::uint32_t>(turns);
               if (rep.out_count == 0) request &= ~(1ull << g);
             }
           }
-          r0.writes += static_cast<std::uint32_t>(block);
-          r0.head += static_cast<std::uint32_t>(block);
-          r0.appended += static_cast<std::uint32_t>(block);
-          grants += block;
+          for (std::size_t d = 0; d < dmas; ++d) {
+            DmaReplay& r = drain_dmas_[d];
+            // Write-then-grant keeps each DMA's occupancy (and peak) flat.
+            r.writes += static_cast<std::uint32_t>(cycles);
+            r.head += static_cast<std::uint32_t>(cycles);
+            r.appended += static_cast<std::uint32_t>(cycles);
+          }
+          grants += turns * members;
           c.fifo_pops += ups;
           c.fifo_pushes += ups;
           c.fifo_stall_cycles +=
-              block * static_cast<std::uint64_t>(std::popcount(stall_members));
+              cycles * static_cast<std::uint64_t>(std::popcount(stall_members));
           c.slice_busy_cycles +=
-              block * static_cast<std::uint64_t>(std::popcount(drain_members));
-          if (busy_members == 0 && !inert_busy) idle_count += block;
-          span += block;
+              cycles * static_cast<std::uint64_t>(std::popcount(drain_members));
+          if (busy_members == 0 && !inert_busy) idle_count += cycles;
+          span += cycles;
           continue;
         }
       }

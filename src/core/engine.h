@@ -197,8 +197,11 @@ class SneEngine {
   /// masked round-robin grants, and pure-drain spans are compressed through
   /// drain_bulk_span(). Returns the number of cycles simulated (0 = the
   /// configuration needs the generic loop); exits at the first cycle whose
-  /// semantics the kernel cannot prove (event decode, countdown expiry,
-  /// reference-path sweeps, livelock bound).
+  /// semantics the kernel cannot prove. Under memory routing that is any
+  /// decode boundary (event decode, countdown expiry); under pipeline
+  /// routing those boundaries recur every few cycles, so the kernel hosts
+  /// them via the full tick() dispatch instead and exits only for WLOAD /
+  /// reference-path sweeps (and the livelock bound).
   std::uint64_t drain_burst(hwsim::ActivityCounters& c,
                             std::uint64_t max_cycles);
 

@@ -557,20 +557,22 @@ void Slice::drain_replay_begin(DrainReplay& r) const {
   r.cluster_cap = hw_->cluster_fifo_depth;
   r.in_nonempty = !in_fifo_.empty();
   r.full = 0;
+  const std::size_t cap = r.cluster_cap;
+  if (r.qarena.size() < clusters_.size() * cap)
+    r.qarena.resize(clusters_.size() * cap);
   for (std::size_t g = 0; g < clusters_.size(); ++g) {
     const auto& fifo = clusters_[g].out_fifo;
     const auto n = static_cast<std::uint16_t>(fifo.size());
     r.count[g] = n;
     r.init[g] = n;
     r.peak[g] = n;
-    r.head[g] = 0;
+    r.rhead[g] = 0;
+    r.pops[g] = 0;
     if (n >= r.cluster_cap) r.full |= 1ull << g;
-    r.queue[g].clear();
-    for (std::size_t k = 0; k < n; ++k) r.queue[g].push_back(fifo.at(k));
+    fifo.copy_to(r.qarena.data() + g * cap);
   }
-  r.out_seq.clear();
-  for (std::size_t k = 0; k < out_fifo_.size(); ++k)
-    r.out_seq.push_back(out_fifo_.at(k));
+  r.out_seq.resize(out_fifo_.size());
+  out_fifo_.copy_to(r.out_seq.data());
   r.out0 = static_cast<std::uint32_t>(out_fifo_.size());
   r.out_count = r.out0;
   r.out_peak = r.out0;
@@ -594,10 +596,7 @@ void Slice::drain_replay_step(DrainReplay& r, hwsim::ActivityCounters& c) {
           r->stall_mask = slot_mask;
         }
         void push(unsigned i, const event::Event& e) {
-          r->queue[i].push_back(e);
-          if (++r->count[i] >= r->cluster_cap) r->full |= 1ull << i;
-          if (r->count[i] > r->peak[i]) r->peak[i] = r->count[i];
-          r->nonempty |= 1ull << i;
+          r->qpush(i, e);
           ++r->pending;
         }
       };
@@ -625,12 +624,24 @@ void Slice::drain_replay_step(DrainReplay& r, hwsim::ActivityCounters& c) {
 }
 
 void Slice::drain_replay_commit(DrainReplay& r) {
+  const std::size_t cap = r.cluster_cap;
   for (std::size_t g = 0; g < clusters_.size(); ++g) {
-    const std::size_t pushes = r.queue[g].size() - r.init[g];
-    const std::size_t pops = r.head[g];
+    const std::size_t pushes = r.pops[g] + r.count[g] - r.init[g];
+    const std::size_t pops = r.pops[g];
     if (pushes == 0 && pops == 0) continue;
-    clusters_[g].out_fifo.reconcile_bulk(pushes, pops, r.peak[g],
-                                         r.queue[g].data() + r.head[g],
+    const event::Event* survivors = r.qarena.data() + g * cap + r.rhead[g];
+    if (r.rhead[g] + r.count[g] > cap) {
+      // The live window wraps its ring: linearize into the scratch buffer
+      // (reconcile_bulk consumes contiguous survivors).
+      r.lin.resize(r.count[g]);
+      const std::size_t head_seg = cap - r.rhead[g];
+      std::copy(survivors, survivors + head_seg, r.lin.begin());
+      std::copy(r.qarena.data() + g * cap,
+                r.qarena.data() + g * cap + (r.count[g] - head_seg),
+                r.lin.begin() + static_cast<long>(head_seg));
+      survivors = r.lin.data();
+    }
+    clusters_[g].out_fifo.reconcile_bulk(pushes, pops, r.peak[g], survivors,
                                          r.count[g]);
   }
   cluster_pending_ = r.pending;

@@ -178,6 +178,20 @@ class Slice {
     }
   }
 
+  /// May the full tick() dispatch host this slice's cycle *inside* the drain
+  /// kernel when drain_cycle_ok() fails? tick() is the reference dispatcher,
+  /// so this is a profitability split, not an exactness one: decode
+  /// boundaries (a hop landing in an idle slice, a drain finishing into
+  /// queued input, a retiring countdown) are ticked in-kernel so
+  /// pipeline-routed drains never abandon the kernel, while WLOAD payload
+  /// streaming and the reference-path sweeps exit to the generic loop (whose
+  /// dead-span jumps pay off there).
+  bool drain_kernel_tick_ok() const {
+    if (!configured_ || countdown_ > 0) return true;
+    return state_ == State::kIdle || state_ == State::kFire ||
+           state_ == State::kDrain;
+  }
+
   /// One drain-kernel cycle: identical transitions and counter charges to
   /// tick() for the states drain_cycle_ok() admits, minus the decode path
   /// (provably unreachable under the precheck).
@@ -194,16 +208,19 @@ class Slice {
   /// scan and only by its own commit.
   struct DrainReplay {
     // --- virtual cluster queues ---------------------------------------
-    // queue[g] holds cluster g's full event sequence: the FIFO contents at
-    // span start (init[g] of them, copied by begin()) plus every spike
-    // emitted in-span. head/count give the live window; everything the
-    // replay reads is in these arrays, so the engine's per-cycle loop
-    // never touches the real FIFOs.
-    std::array<std::vector<event::Event>, 64> queue;
+    // One arena of clusters x cluster_cap ring slots replaces the former
+    // 64 per-cluster heap vectors: cluster g's live window is the ring
+    // [rhead[g], rhead[g] + count[g]) of slots [g*cap, (g+1)*cap). A popped
+    // event is never re-read (each pop goes straight into out_seq, and
+    // commit needs only the live window plus the pop counts), so fixed
+    // rings suffice and the replay's whole cluster working set is one
+    // contiguous allocation-free block.
+    std::vector<event::Event> qarena;
     std::array<std::uint16_t, 64> count{};  ///< live occupancy per cluster
-    std::array<std::uint16_t, 64> head{};   ///< events consumed per cluster
+    std::array<std::uint16_t, 64> rhead{};  ///< ring head slot per cluster
     std::array<std::uint16_t, 64> init{};   ///< occupancy at span start
     std::array<std::uint16_t, 64> peak{};   ///< high-water over the span
+    std::array<std::uint32_t, 64> pops{};   ///< events consumed per cluster
     std::uint64_t nonempty = 0;   ///< clusters with a nonempty queue
     std::uint32_t pending = 0;    ///< total queued cluster events
     std::size_t arb_cursor = 0;   ///< local collector round-robin cursor
@@ -233,6 +250,30 @@ class Slice {
     std::uint64_t stall_mask = 0;
     /// Clusters whose queue sits at capacity (maintained on push/pop).
     std::uint64_t full = 0;
+    /// Scratch for commit: a live window that wraps its ring is linearized
+    /// here (reconcile_bulk consumes contiguous survivors).
+    std::vector<event::Event> lin;
+
+    /// Pops cluster g's front event (ring window + occupancy masks; the
+    /// caller owns `pending`).
+    event::Event qpop(std::size_t g) {
+      const event::Event e = qarena[g * cluster_cap + rhead[g]];
+      rhead[g] = rhead[g] + 1u == cluster_cap ? 0 : rhead[g] + 1;
+      ++pops[g];
+      full &= ~(1ull << g);
+      if (--count[g] == 0) nonempty &= ~(1ull << g);
+      return e;
+    }
+    /// Pushes onto cluster g's ring (the caller owns `pending`; the stall
+    /// check proved space).
+    void qpush(std::size_t g, const event::Event& e) {
+      std::size_t slot = rhead[g] + count[g];
+      if (slot >= cluster_cap) slot -= cluster_cap;
+      qarena[g * cluster_cap + slot] = e;
+      if (++count[g] >= cluster_cap) full |= 1ull << g;
+      if (count[g] > peak[g]) peak[g] = count[g];
+      nonempty |= 1ull << g;
+    }
 
     /// True when the next cycle would finish the drain and decode queued
     /// input in the same cycle — the replay must stop before it.
@@ -255,9 +296,7 @@ class Slice {
       if (pending == 0 || out_count >= out_cap) return;
       const std::size_t g =
           hwsim::RoundRobinArbiter::first_from(arb_cursor, nonempty);
-      out_seq.push_back(queue[g][head[g]++]);
-      full &= ~(1ull << g);
-      if (--count[g] == 0) nonempty &= ~(1ull << g);
+      out_seq.push_back(qpop(g));
       --pending;
       if (++out_count > out_peak) out_peak = out_count;
       c.fifo_pops++;

@@ -1,6 +1,7 @@
 #include "ecnn/engine_pool.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/contracts.h"
 #include "common/fault_injection.h"
@@ -15,8 +16,29 @@ EnginePool::EnginePool(core::SneConfig hw, unsigned warm_engines,
     throw ConfigError("warm_engines exceeds the engine-pool cap");
   for (unsigned i = 0; i < warm_engines; ++i) {
     entries_.push_back(build_entry());
-    free_.push_back(entries_.back().get());
+    push_free(entries_.back().get());
   }
+}
+
+void EnginePool::push_free(Entry* e) {
+  e->is_free = true;
+  e->free_seq = ++free_epoch_;
+  const FreeRef ref{e, e->free_seq};
+  free_by_tag_[e->model_tag].push_back(ref);
+  free_any_.push_back(ref);
+  ++free_count_;
+}
+
+EnginePool::Entry* EnginePool::pop_valid(std::vector<FreeRef>& stack) {
+  while (!stack.empty()) {
+    const FreeRef r = stack.back();
+    stack.pop_back();
+    if (r.e->is_free && r.e->free_seq == r.seq) {
+      r.e->is_free = false;  // claims the entry; sibling records go stale
+      return r.e;
+    }
+  }
+  return nullptr;
 }
 
 std::unique_ptr<EnginePool::Entry> EnginePool::build_entry() const {
@@ -32,29 +54,30 @@ EnginePool::Entry* EnginePool::acquire_entry(std::uint64_t model_tag) {
   faults::check("ecnn.pool.acquire");
   std::unique_lock<std::mutex> lk(m_);
   for (;;) {
-    if (!free_.empty()) {
-      // Affinity scan (newest first: recently released engines are the
+    if (free_count_ > 0) {
+      // Affinity pick (newest first: recently released engines are the
       // likeliest to still hold hot weights): same model tag beats a
       // never-tagged engine beats evicting another model's residency.
-      std::size_t pick = free_.size() - 1;
+      // Each preference level is a direct bucket pop instead of the old
+      // whole-free-list scan.
+      Entry* e = nullptr;
       if (model_tag != 0) {
-        std::size_t blank = free_.size();
-        bool matched = false;
-        for (std::size_t k = free_.size(); k-- > 0;) {
-          if (free_[k]->model_tag == model_tag) {
-            pick = k;
-            matched = true;
-            break;
-          }
-          if (free_[k]->model_tag == 0 && blank == free_.size()) blank = k;
+        if (const auto it = free_by_tag_.find(model_tag);
+            it != free_by_tag_.end()) {
+          e = pop_valid(it->second);
+          if (it->second.empty()) free_by_tag_.erase(it);
+          if (e) ++warm_leases_;
         }
-        if (matched)
-          ++warm_leases_;
-        else if (blank < free_.size())
-          pick = blank;
+        if (!e) {
+          if (const auto it = free_by_tag_.find(0); it != free_by_tag_.end()) {
+            e = pop_valid(it->second);
+            if (it->second.empty()) free_by_tag_.erase(it);
+          }
+        }
       }
-      Entry* e = free_[pick];
-      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (!e) e = pop_valid(free_any_);
+      SNE_ASSERT(e != nullptr);  // free_count_ > 0 guarantees a valid record
+      --free_count_;
       ++leases_;
       return e;
     }
@@ -107,7 +130,7 @@ void EnginePool::release_entry(Entry* entry, std::uint64_t model_tag,
   {
     std::lock_guard<std::mutex> lk(m_);
     entry->model_tag = opts_.weight_resident ? model_tag : 0;
-    free_.push_back(entry);
+    push_free(entry);
   }
   cv_.notify_one();
 }
@@ -123,6 +146,20 @@ void EnginePool::discard_entry(Entry* entry) {
         entries_.begin(), entries_.end(),
         [entry](const std::unique_ptr<Entry>& e) { return e.get() == entry; });
     SNE_ASSERT(it != entries_.end());
+    // Purge every index record naming the doomed entry: a discarded entry is
+    // always leased (never free), but *stale* records from its earlier free
+    // periods may still sit in the stacks, and lazy validation dereferences
+    // the entry pointer — which must not dangle.
+    const auto drop_refs = [entry](std::vector<FreeRef>& v) {
+      v.erase(std::remove_if(v.begin(), v.end(),
+                             [entry](const FreeRef& r) { return r.e == entry; }),
+              v.end());
+    };
+    drop_refs(free_any_);
+    for (auto bt = free_by_tag_.begin(); bt != free_by_tag_.end();) {
+      drop_refs(bt->second);
+      bt = bt->second.empty() ? free_by_tag_.erase(bt) : std::next(bt);
+    }
     doomed = std::move(*it);
     entries_.erase(it);
     ++quarantined_;

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -67,6 +68,12 @@ class EnginePool {
     /// the acquire-time affinity hint. Correctness never depends on it —
     /// the engine's per-slice residency tags are the ground truth.
     std::uint64_t model_tag = 0;
+    /// Free-index bookkeeping (guarded by the pool mutex): whether the entry
+    /// currently sits in the free index, and the epoch of its latest release.
+    /// Index records carry the epoch they were pushed with; a record whose
+    /// epoch no longer matches is stale and is dropped lazily on pop.
+    bool is_free = false;
+    std::uint64_t free_seq = 0;
   };
 
  public:
@@ -140,10 +147,28 @@ class EnginePool {
   const EnginePoolOptions& options() const { return opts_; }
 
  private:
+  /// A claim on a free entry at a given release epoch. Records are pushed on
+  /// release and invalidated implicitly (entry leased out, or released again
+  /// under a different epoch) rather than being hunted down across buckets;
+  /// pop_valid() discards stale records as it meets them, so each record is
+  /// examined at most once over its lifetime — acquire stays amortized O(1)
+  /// regardless of pool size, where the old linear free-list scan was O(free)
+  /// per tagged acquire.
+  struct FreeRef {
+    Entry* e = nullptr;
+    std::uint64_t seq = 0;
+  };
+
   Entry* acquire_entry(std::uint64_t model_tag);
   void release_entry(Entry* entry, std::uint64_t model_tag, bool poisoned);
   void discard_entry(Entry* entry);
   std::unique_ptr<Entry> build_entry() const;
+  /// Enters `e` into the free index under its current model_tag (pool mutex
+  /// held by the caller).
+  void push_free(Entry* e);
+  /// Pops the newest still-valid record off `stack` (dropping stale ones),
+  /// claiming the entry; nullptr when the stack holds no valid record.
+  static Entry* pop_valid(std::vector<FreeRef>& stack);
 
   core::SneConfig hw_;
   EnginePoolOptions opts_;
@@ -151,7 +176,15 @@ class EnginePool {
   mutable std::mutex m_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Entry>> entries_;  ///< stable addresses
-  std::vector<Entry*> free_;
+  /// Free index: per-tag stacks (newest on top; tag 0 is the never-tagged /
+  /// blank bucket) plus one stack over all free entries. An entry appears in
+  /// exactly one tag bucket and in free_any_ per release; staleness is lazy
+  /// (see FreeRef). free_count_ is the number of genuinely free entries —
+  /// the stacks may be longer than that transiently.
+  std::unordered_map<std::uint64_t, std::vector<FreeRef>> free_by_tag_;
+  std::vector<FreeRef> free_any_;
+  std::uint64_t free_epoch_ = 0;
+  std::size_t free_count_ = 0;
   unsigned building_ = 0;  ///< constructions in flight outside the lock
   std::uint64_t leases_ = 0;
   std::uint64_t warm_leases_ = 0;

@@ -73,6 +73,17 @@ class Fifo {
     return buf_[p];
   }
 
+  /// Copies the queued contents front-to-back into `dst` (the bulk form of a
+  /// size() loop over at(): two segment copies instead of a per-element
+  /// modulo). Pure read; no accounting.
+  void copy_to(T* dst) const {
+    const std::size_t first = std::min(size_, capacity_ - head_);
+    std::copy(buf_.begin() + static_cast<long>(head_),
+              buf_.begin() + static_cast<long>(head_ + first), dst);
+    std::copy(buf_.begin(),
+              buf_.begin() + static_cast<long>(size_ - first), dst + first);
+  }
+
   /// Discards the front `n` elements in one call; accounting (pop count)
   /// matches n successive pop() calls whose values the caller already
   /// consumed via at().

@@ -66,7 +66,8 @@ struct PipelineOptions {
   std::size_t queue_capacity = 4;  ///< per-stage bounded stream queue
   bool use_wload_stream = false;
   std::size_t memory_words = (1u << 22);
-  hwsim::MemoryTiming mem_timing{};  ///< stall_probability must be 0
+  /// stall_probability > 0 needs mem_timing.rng_streams (stream-split tier)
+  hwsim::MemoryTiming mem_timing{};
   event::FirePolicy policy = event::FirePolicy::kActiveStepsOnly;
   /// Weight-resident stages (program-once / serve-many): each stage keeps
   /// its layer range's programming across requests (machine-reset instead of

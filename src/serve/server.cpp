@@ -40,11 +40,12 @@ InferenceServer::InferenceServer(const ModelRegistry& registry,
   // (NetworkRunner::check_warm_preconditions): constructing a server whose
   // requests all fail at runtime helps nobody.
   if (opts_.reuse_engines && opts_.warm_weights && opts_.use_wload_stream &&
-      opts_.mem_timing.stall_probability > 0.0)
+      opts_.mem_timing.stall_probability > 0.0 && !opts_.mem_timing.rng_streams)
     throw ConfigError(
         "warm serving with streamed WLOAD programming requires deterministic "
-        "memory timing (stall_probability == 0); set warm_weights=false to "
-        "serve this configuration cold");
+        "memory timing (stall_probability == 0) under the whole-engine RNG "
+        "ordering; set warm_weights=false to serve this configuration cold, "
+        "or mem_timing.rng_streams for the stream-split tier");
   workers_.reserve(opts_.engines);
   for (unsigned i = 0; i < opts_.engines; ++i)
     workers_.emplace_back([this] { worker_loop(); });

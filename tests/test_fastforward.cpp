@@ -337,6 +337,26 @@ TEST(DrainEquivalence, MultiOutputDmas) {
   }
 }
 
+TEST(DrainEquivalence, MultiDmaWideSteadyRotation) {
+  // 8 slices of dense output against D ∈ {2, 4} output DMAs: long steady
+  // spans where D grants per cycle rotate across the request mask. The
+  // D-wide closed form must land exactly where the per-cycle rotation
+  // would — cursor position, per-DMA write interleaving, refill timing and
+  // every counter, across block boundaries where D does not divide the
+  // member count (M = 8 participants is exercised alongside smaller tails
+  // as slices finish draining).
+  QuantizedLayerSpec l = conv_layer(1, 16, 32, 0, 101);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(std::max(1, std::abs(w)));
+  QuantizedNetwork net;
+  net.layers.push_back(l);
+  const auto in = data::random_stream({1, 16, 16, 8}, 0.2, 103);
+  for (std::uint32_t dmas : {2u, 4u}) {
+    SneConfig hw = SneConfig::paper_design_point(8);
+    hw.num_output_dmas = dmas;
+    expect_drain_equivalent(hw, net, in);
+  }
+}
+
 TEST(DrainEquivalence, ShallowFifosDenseDrain) {
   // Minimal buffering everywhere: stalls and backpressure at every hop of
   // the drain chain, including repeated full slice-output FIFOs.
@@ -375,6 +395,49 @@ TEST(DrainEquivalence, PipelineBackpressureDuringDrain) {
     hw.drain_batching = mode > 1;
     hw.slice_in_fifo_depth = 1;
     hw.slice_out_fifo_depth = 2;
+    SneEngine engine(hw, 1u << 20);
+    const auto geom = ecnn::build_pipeline(engine, net, in.geometry().timesteps);
+    core::RunOptions opts;
+    opts.out_geometry = geom;
+    const auto r = engine.run(in, opts);
+    outputs[k] = r.output;
+    counters[k] = r.counters;
+    cycles[k] = r.cycles;
+    ++k;
+  }
+  ASSERT_GT(counters[0].output_events, 0u);
+  for (int m = 1; m < 3; ++m) {
+    EXPECT_EQ(cycles[0], cycles[m]) << "mode " << m;
+    EXPECT_TRUE(counters[0] == counters[m]) << "mode " << m
+        << " counters diverge:\nref:  " << counters[0] << "\nfast: " << counters[m];
+    EXPECT_TRUE(outputs[0] == outputs[m]) << "mode " << m;
+  }
+}
+
+TEST(DrainEquivalence, PipeRoutedBulkDrainHostsDecodeBoundaries) {
+  // Pipeline operating mode at default FIFO depths: the downstream slice
+  // decodes a fresh event every few cycles, so the batched drain kernel
+  // cannot exit at every decode boundary — it hosts the boundary slice via
+  // the full tick() dispatch inside the kernel cycle while the rest of the
+  // chain replays on the specialized path. Three-way bit-exact: cycles,
+  // every counter field, exact output event order.
+  QuantizedLayerSpec l1 = conv_layer(1, 16, 2, 0, 107);
+  for (auto& w : l1.weights) w = static_cast<std::int8_t>(std::max(1, std::abs(w)));
+  auto l2 = conv_layer(2, 16, 2, 5, 109);
+  l2.name = "conv2";
+  QuantizedNetwork net;
+  net.layers.push_back(l1);
+  net.layers.push_back(l2);
+  const auto in = data::random_stream({1, 16, 16, 10}, 0.25, 113);
+
+  event::EventStream outputs[3];
+  hwsim::ActivityCounters counters[3];
+  std::uint64_t cycles[3];
+  int k = 0;
+  for (int mode = 0; mode < 3; ++mode) {
+    SneConfig hw = SneConfig::paper_design_point(2);
+    hw.fast_forward = mode > 0;
+    hw.drain_batching = mode > 1;
     SneEngine engine(hw, 1u << 20);
     const auto geom = ecnn::build_pipeline(engine, net, in.geometry().timesteps);
     core::RunOptions opts;
