@@ -354,6 +354,14 @@ BENCHMARK(BM_TrainerEpoch)
 //       prices the hardened serving path under load; mode 1 with the
 //       injector disarmed is the contrast that keeps the compiled-in-but-
 //       disabled overhead honest.
+//
+// Multi-tenant mode (3-layer host-loaded model again):
+//   7 = multi-tenant-skew: four tenants with Zipf weights (8/4/2/1) and a
+//       matching skewed request mix, under the same seeded 8% dispatch
+//       chaos as mode 6. This prices the weighted-fair front door
+//       (FairScheduler: DRR dispatch, per-tenant ledgers, breaker gates on
+//       every admission) against mode 6's single-FIFO chaos baseline and
+//       mode 1's clean one.
 void BM_ServeThroughput(benchmark::State& state) {
   const auto engines = static_cast<unsigned>(state.range(0));
   const auto mode = static_cast<int>(state.range(1));
@@ -460,8 +468,20 @@ void BM_ServeThroughput(benchmark::State& state) {
     so.warm_weights = mode == 4;
     so.use_wload_stream = wload;
     serve::InferenceServer server(registry, hw, so);
+    // Zipf-weighted tenants with a matching skewed request mix: the hot
+    // tenant holds more than half the traffic AND more than half the fair
+    // share, so the DRR ring, ledger updates, and breaker gates all run hot.
+    static constexpr unsigned kTenantOf[12] = {0, 0, 0, 0, 0, 0,
+                                               1, 1, 1, 2, 2, 3};
+    static const std::string kTenantName[4] = {"t0", "t1", "t2", "t3"};
+    if (mode == 7)
+      for (unsigned ti = 0; ti < 4; ++ti) {
+        serve::TenantConfig tc;
+        tc.weight = 8u >> ti;  // 8, 4, 2, 1
+        server.register_tenant(kTenantName[ti], tc);
+      }
     std::optional<faults::ScopedFaults> chaos;
-    if (mode == 6) {
+    if (mode == 6 || mode == 7) {
       faults::FaultConfig cfg;
       cfg.seed = 2026;
       cfg.rules.push_back(
@@ -476,6 +496,7 @@ void BM_ServeThroughput(benchmark::State& state) {
         if (mode == 6 && i % 4 == 3)
           ropts.deadline = std::chrono::steady_clock::now() -
                            std::chrono::milliseconds(1);
+        if (mode == 7) ropts.tenant = kTenantName[kTenantOf[i]];
         tickets.push_back(server.submit("m", inputs[i], ropts));
       }
       for (const auto& t : tickets) {
@@ -500,7 +521,8 @@ void BM_ServeThroughput(benchmark::State& state) {
                  : mode == 3 ? "mode=wload-cold-pooled"
                  : mode == 4 ? "mode=wload-warm-pooled"
                  : mode == 5 ? "mode=wload-warm-pipelined"
-                             : "mode=chaos-retry-shed");
+                 : mode == 6 ? "mode=chaos-retry-shed"
+                             : "mode=multi-tenant-skew");
 }
 BENCHMARK(BM_ServeThroughput)
     ->Args({1, 0})->Args({1, 1})
@@ -510,7 +532,7 @@ BENCHMARK(BM_ServeThroughput)
     // the honest arg is 1 — a multi-stage warm-pipeline datapoint needs a
     // multi-layer wload workload first.
     ->Args({1, 3})->Args({1, 4})->Args({2, 3})->Args({2, 4})->Args({1, 5})
-    ->Args({2, 6})
+    ->Args({2, 6})->Args({2, 7})
     ->UseRealTime()  // dispatch workers shift work off the timing thread
     ->Unit(benchmark::kMillisecond);
 

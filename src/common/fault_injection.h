@@ -12,8 +12,14 @@
 //   ecnn.pool.release        EnginePool lease release (reset fails; the pool
 //                            quarantines the engine instead of throwing)
 //   ecnn.runner.program      NetworkRunner weight programming (mid-request)
+//   serve.server.admit       InferenceServer submit/try_submit, after the
+//                            request is built but before any counting or
+//                            queuing (a crash in the front door itself)
 //   serve.server.dispatch    InferenceServer worker, before the engine run
 //   serve.pipeline.stage     PipelineDeployment stage worker, per job
+//   serve.session.chunk      StreamingSession chunk dispatch, before the
+//                            engine run (fails the in-flight chunk; the
+//                            session respawns and continues)
 //
 // A disarmed injector costs one relaxed atomic load per site hit — the
 // serving fast path never takes a lock or hashes anything unless a chaos

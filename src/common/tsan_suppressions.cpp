@@ -1,0 +1,14 @@
+// Built-in ThreadSanitizer suppressions, linked into sne_core so every
+// TSan build (local or CI) picks them up without TSAN_OPTIONS plumbing.
+#ifdef __SANITIZE_THREAD__
+// GCC's exception_ptr refcount (libsupc++/eh_ptr.cc) is compiled into
+// libstdc++.so, which is not TSan-instrumented, so the atomic release
+// sequence that orders cross-thread exception_ptr destruction is invisible
+// to TSan. Tickets hand exception_ptrs between dispatch workers and
+// waiters; when the worker's ref is the last one dropped, TSan pairs the
+// free with the waiter's earlier e.what() read and reports a race that the
+// (uninstrumented) atomic refcount in fact forbids.
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:std::__exception_ptr::exception_ptr::_M_release\n";
+}
+#endif

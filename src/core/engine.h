@@ -158,6 +158,34 @@ class SneEngine {
   /// last reset(), whichever is later.
   const hwsim::ActivityCounters& total_counters() const { return total_; }
 
+  // --- neuron-state snapshot (streaming sessions) ---------------------------
+  // Between two run() calls the only machine state that carries semantic
+  // meaning across the boundary is the slices' neuron arrays (everything
+  // else is quiescent: FIFOs empty, arbitration rewound per run). Saving
+  // and restoring them lets a streaming session resume mid-stream on a
+  // *replacement* engine after a crash: program the same pipeline, restore
+  // the snapshot, and subsequent chunks are bitwise identical to the
+  // uninterrupted run (serve::StreamingSession + tests/test_tenants.cpp).
+
+  /// Whole-engine neuron-state image, one entry per slice.
+  struct NeuronState {
+    std::vector<Slice::NeuronStateImage> slices;
+  };
+
+  void save_neuron_state(NeuronState& st) const {
+    st.slices.resize(slices_.size());
+    for (std::size_t i = 0; i < slices_.size(); ++i)
+      slices_[i].save_neuron_state(st.slices[i]);
+  }
+
+  /// Restores a snapshot taken on an engine of the same design point; call
+  /// after the slices are configured (configure re-arms clusters).
+  void restore_neuron_state(const NeuronState& st) {
+    SNE_EXPECTS(st.slices.size() == slices_.size());
+    for (std::size_t i = 0; i < slices_.size(); ++i)
+      slices_[i].restore_neuron_state(st.slices[i]);
+  }
+
  private:
   /// One pass over the machine state; replaces the former triple walk
   /// (quiescent's two slice scans + the all_idle loop) with a single scan

@@ -375,6 +375,44 @@ class Slice {
 
   const std::vector<Cluster>& clusters() const { return clusters_; }
 
+  // --- neuron-state snapshot (streaming-session crash recovery) ------------
+  // The cross-run state a pipeline-resident slice carries between chunks is
+  // exactly its neuron array (membrane + TLU timestamp; LifNeuron is plain
+  // data) plus the armed masks. Everything else a run mutates (FIFOs,
+  // arbitration, the state machine) is quiescent between runs and rebuilt by
+  // configure(); the FIRE caches are refilled at each FIRE decode before any
+  // read. serve::StreamingSession snapshots after every successful chunk and
+  // restores onto a freshly programmed replacement engine after a crash, so
+  // the machine resumes in bitwise the state the last good chunk left.
+
+  /// Per-slice neuron-state image (clusters x neurons, plus armed masks).
+  struct NeuronStateImage {
+    std::vector<std::vector<neuron::LifNeuron>> neurons;  ///< per cluster
+    std::vector<std::array<std::uint64_t, 4>> armed;
+  };
+
+  /// Captures the cross-run neuron state into `img` (overwritten).
+  void save_neuron_state(NeuronStateImage& img) const {
+    img.neurons.resize(clusters_.size());
+    img.armed.resize(clusters_.size());
+    for (std::size_t g = 0; g < clusters_.size(); ++g) {
+      img.neurons[g] = clusters_[g].neurons;
+      img.armed[g] = clusters_[g].armed;
+    }
+  }
+
+  /// Restores a snapshot taken on a slice of the same design point. Call
+  /// after configure() — configure's dynamic-state reset re-arms every
+  /// cluster and would otherwise clobber the restored masks.
+  void restore_neuron_state(const NeuronStateImage& img) {
+    SNE_EXPECTS(img.neurons.size() == clusters_.size());
+    for (std::size_t g = 0; g < clusters_.size(); ++g) {
+      SNE_EXPECTS(img.neurons[g].size() == clusters_[g].neurons.size());
+      clusters_[g].neurons = img.neurons[g];
+      clusters_[g].armed = img.armed[g];
+    }
+  }
+
  private:
   enum class State : std::uint8_t {
     kIdle,

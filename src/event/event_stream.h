@@ -133,11 +133,17 @@ class EventStream {
   /// one-shot leak catch-up this "compresses long intervals of sparse input
   /// activity into dense computational phases" (paper section II) and is the
   /// stream-level half of SNE's energy proportionality.
+  ///
+  /// `initial_reset = false` omits the leading RST: the continuation form
+  /// for streaming sessions, where the engine's neuron state carries over
+  /// from the previous chunk and must not be wiped at the chunk boundary
+  /// (serve::StreamingSession resets only in its first chunk).
   EventStream with_control_events(
-      FirePolicy policy = FirePolicy::kActiveStepsOnly) const {
+      FirePolicy policy = FirePolicy::kActiveStepsOnly,
+      bool initial_reset = true) const {
     EventStream out(geom_);
     out.reserve(events_.size() + geom_.timesteps + 1);
-    out.events_.push_back(Event::reset(0));
+    if (initial_reset) out.events_.push_back(Event::reset(0));
     std::vector<bool> active(geom_.timesteps, false);
     for (const Event& e : events_)
       if (e.op == Op::kUpdate) {

@@ -40,6 +40,23 @@ class BoundedQueue {
 
   enum class PushResult { kAccepted, kFull, kClosed };
 
+  /// Timed push, the admission mirror of pop_for(): blocks while full for at
+  /// most `timeout`, then gives up with kFull instead of sleeping past the
+  /// caller's own deadline (a blocking submit that outlives its request's
+  /// budget helps nobody). The item is untouched unless accepted.
+  PushResult push_for(std::chrono::nanoseconds timeout, T& item) {
+    std::unique_lock<std::mutex> lk(m_);
+    if (!not_full_.wait_for(lk, timeout,
+                            [this] { return closed_ || q_.size() < cap_; }))
+      return PushResult::kFull;
+    if (closed_) return PushResult::kClosed;
+    q_.push_back(std::move(item));
+    if (q_.size() > peak_) peak_ = q_.size();
+    lk.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
   /// Non-blocking admission; the item is untouched unless accepted. kFull
   /// and kClosed are distinguished so callers can tell transient overload
   /// (retry later) from shutdown (stop submitting).

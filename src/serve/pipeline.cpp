@@ -89,6 +89,11 @@ std::vector<ecnn::NetworkRunStats> PipelineDeployment::run(
   return results;
 }
 
+PipelineDeployment::Stats PipelineDeployment::stats() const {
+  std::lock_guard<std::mutex> lk(stats_m_);
+  return stats_;
+}
+
 void PipelineDeployment::stage_loop(std::size_t s) {
   // Each stage owns one pooled engine at a time; requests on the stage
   // reset it, so every request sees a machine indistinguishable from new.
@@ -139,6 +144,13 @@ void PipelineDeployment::stage_loop(std::size_t s) {
       const double waited_ms = detail::ms_since(job->stage_enqueued_at);
       if (waited_ms > opts_.stage_timeout_ms) {
         job->failed = true;
+        // Ledger before ticket (here and below): a waiter woken by its own
+        // fail/fulfill must observe its job already counted in stats().
+        {
+          std::lock_guard<std::mutex> lk(stats_m_);
+          ++stats_.jobs_failed;
+          ++stats_.watchdog_failures;
+        }
         job->ticket->fail(
             diagnose("watchdog: job waited " + std::to_string(waited_ms) +
                      " ms in the stream queue (budget " +
@@ -151,6 +163,10 @@ void PipelineDeployment::stage_loop(std::size_t s) {
     if (!job->failed && stage_error) spawn();
     if (!job->failed && stage_error) {
       job->failed = true;
+      {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        ++stats_.jobs_failed;
+      }
       job->ticket->fail(stage_error, detail::ms_since(job->submitted_at));
     }
     if (!job->failed) {
@@ -179,6 +195,11 @@ void PipelineDeployment::stage_loop(std::size_t s) {
         }
       } catch (const std::exception& e) {
         job->failed = true;
+        {
+          std::lock_guard<std::mutex> lk(stats_m_);
+          ++stats_.jobs_failed;
+          ++stats_.stage_respawns;
+        }
         job->ticket->fail(diagnose(std::string("failed: ") + e.what()),
                           detail::ms_since(job->submitted_at));
         // The engine ran an unknown fraction of the job: quarantine it and
@@ -187,6 +208,11 @@ void PipelineDeployment::stage_loop(std::size_t s) {
         spawn();
       } catch (...) {
         job->failed = true;
+        {
+          std::lock_guard<std::mutex> lk(stats_m_);
+          ++stats_.jobs_failed;
+          ++stats_.stage_respawns;
+        }
         job->ticket->fail(diagnose("failed: unknown exception"),
                           detail::ms_since(job->submitted_at));
         if (lease) lease->poison();
@@ -196,6 +222,10 @@ void PipelineDeployment::stage_loop(std::size_t s) {
     if (is_last) {
       if (!job->failed) {
         job->acc.final_output = job->acc.layers.back().output;
+        {
+          std::lock_guard<std::mutex> lk(stats_m_);
+          ++stats_.jobs_completed;
+        }
         job->ticket->fulfill(std::move(job->acc),
                              detail::ms_since(job->submitted_at));
       }

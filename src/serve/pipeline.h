@@ -122,6 +122,19 @@ class PipelineDeployment {
     return ranges_;
   }
 
+  /// Degradation ledger: how the deployment has been failing and healing.
+  /// jobs_completed + jobs_failed reaches the submit count once tickets
+  /// settle; stage_respawns counts engines replaced after a stage fault
+  /// (the quarantine-and-respawn path, distinct from deploy-time spawns);
+  /// watchdog_failures counts jobs shed for overstaying a stream queue.
+  struct Stats {
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t jobs_failed = 0;
+    std::uint64_t stage_respawns = 0;
+    std::uint64_t watchdog_failures = 0;
+  };
+  Stats stats() const;
+
  private:
   struct Job {
     event::EventStream input;  ///< original sample (stage 0's input)
@@ -147,6 +160,9 @@ class PipelineDeployment {
   std::vector<std::thread> stage_threads_;
   std::uint64_t next_id_ = 1;
   std::mutex submit_m_;
+
+  mutable std::mutex stats_m_;
+  Stats stats_;
 };
 
 }  // namespace sne::serve

@@ -20,6 +20,14 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[rank - 1];
 }
 
+/// The default tenant inherits the pre-tenant server's single-FIFO quota.
+TenantConfig default_tenant_cfg(const ServeOptions& opts) {
+  TenantConfig cfg;
+  cfg.weight = 1;
+  cfg.max_queue = opts.queue_capacity;
+  return cfg;
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(const ModelRegistry& registry,
@@ -32,7 +40,7 @@ InferenceServer::InferenceServer(const ModelRegistry& registry,
                                     opts.use_wload_stream,
                                     /*max_engines=*/opts.engines,
                                     /*weight_resident=*/opts.warm_weights}),
-      queue_(opts.queue_capacity),
+      sched_(default_tenant_cfg(opts)),
       started_at_(std::chrono::steady_clock::now()) {
   hw_.validate();
   if (opts_.engines == 0) throw ConfigError("server needs at least one engine");
@@ -52,10 +60,80 @@ InferenceServer::InferenceServer(const ModelRegistry& registry,
 }
 
 InferenceServer::~InferenceServer() {
+  // Close streaming sessions first: their engine leases must return to the
+  // pool (a member destroyed after this body) and their on_close hooks still
+  // reference the scheduler.
+  std::vector<std::shared_ptr<StreamingSession>> sessions;
+  {
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    sessions.swap(sessions_);
+  }
+  for (const auto& s : sessions) s->close();
   // Stop admission; workers drain everything already accepted (a fulfilled
-  // ticket for every admitted request), then exit on the closed queue.
-  queue_.close();
+  // ticket for every admitted request), then exit on the closed scheduler.
+  sched_.close();
   for (auto& t : workers_) t.join();
+}
+
+void InferenceServer::register_tenant(const std::string& name,
+                                      TenantConfig cfg) {
+  sched_.register_tenant(name, cfg);
+}
+
+void InferenceServer::evict_tenant(const std::string& name) {
+  if (name == kDefaultTenant)
+    throw ConfigError("the default tenant cannot be evicted");
+  if (!sched_.has_tenant(name))
+    throw ConfigError("unknown tenant '" + name + "'");
+  // Close the tenant's sessions first: their leases return to the pool and
+  // their queued chunks fail before the queue purge below, so nothing of the
+  // tenant keeps running once evict_tenant returns (in-flight requests
+  // already popped by a worker still finish — their tickets were promised).
+  std::vector<std::shared_ptr<StreamingSession>> to_close;
+  {
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    for (const auto& s : sessions_)
+      if (s->tenant() == name) to_close.push_back(s);
+  }
+  for (const auto& s : to_close) s->close();
+  fail_displaced(sched_.evict(name), "tenant evicted: queued request dropped");
+}
+
+std::shared_ptr<StreamingSession> InferenceServer::open_session(
+    const std::string& model, SessionOptions sopts) {
+  const ModelRegistry::Resolved resolved = registry_.resolve(model);
+  if (!sched_.has_tenant(sopts.tenant))
+    throw ConfigError("unknown tenant '" + sopts.tenant + "'");
+  if (!sched_.try_open_session(sopts.tenant))
+    throw TenantOverload("session quota exhausted for tenant '" +
+                         sopts.tenant + "' (max_sessions)");
+  const std::string tenant = sopts.tenant;
+  StreamingSession::Hooks hooks;
+  hooks.on_chunk = [this, tenant](bool success, std::uint64_t cycles) {
+    sched_.note_chunk(tenant, success, cycles);
+  };
+  hooks.on_close = [this, tenant] { sched_.note_session_closed(tenant); };
+  std::shared_ptr<StreamingSession> session;
+  try {
+    session = std::make_shared<StreamingSession>(pool_, resolved.model,
+                                                 std::move(sopts),
+                                                 std::move(hooks));
+  } catch (...) {
+    // The session never existed; release its quota slot (on_close will
+    // never fire for it).
+    sched_.note_session_closed(tenant);
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    // Prune sessions the client already closed so the list stays bounded by
+    // the number of live sessions.
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [](const auto& s) { return s->closed(); }),
+                    sessions_.end());
+    sessions_.push_back(session);
+  }
+  return session;
 }
 
 InferenceServer::Request InferenceServer::make_request(
@@ -66,12 +144,18 @@ InferenceServer::Request InferenceServer::make_request(
   // a re-point mid-flight can never pair one model's weights with
   // another's residency key.
   const ModelRegistry::Resolved resolved = registry_.resolve(model);
+  if (!sched_.has_tenant(ropts.tenant))
+    throw ConfigError("unknown tenant '" + ropts.tenant +
+                      "' (register_tenant first; evicted names are not "
+                      "recycled)");
   req.model = resolved.model;
   req.model_fp = resolved.fingerprint;
   req.input = std::move(input);
   req.ticket = std::make_shared<detail::TicketState>();
   req.submitted_at = std::chrono::steady_clock::now();
   req.deadline = ropts.deadline;
+  req.tenant = ropts.tenant;
+  req.priority = ropts.priority;
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     req.ticket->id = next_id_++;
@@ -86,6 +170,7 @@ bool InferenceServer::shed_if_expired(Request& req) {
     std::lock_guard<std::mutex> lk(stats_m_);
     ++shed_;
   }
+  sched_.note_shed(req.tenant);
   // Shed requests never count as submitted: drain() tracks admitted work,
   // and this request is answered (with its failure) before admission.
   req.ticket->fail(std::make_exception_ptr(DeadlineExceeded(
@@ -94,28 +179,98 @@ bool InferenceServer::shed_if_expired(Request& req) {
   return true;
 }
 
+void InferenceServer::fail_displaced(std::vector<Request> displaced,
+                                     const char* why) {
+  if (displaced.empty()) return;
+  // Displaced requests were admitted (counted in submitted_): answering
+  // them failed keeps the drain invariant. The scheduler already booked the
+  // per-tenant failed+evicted side.
+  {
+    std::lock_guard<std::mutex> lk(stats_m_);
+    failed_ += displaced.size();
+    evicted_ += displaced.size();
+  }
+  for (Request& d : displaced)
+    d.ticket->fail(
+        std::make_exception_ptr(TenantOverload(
+            std::string(why) + " (tenant '" + d.tenant + "')")),
+        ms_since(d.submitted_at));
+  drained_cv_.notify_all();
+}
+
 Ticket InferenceServer::submit(const std::string& model,
                                event::EventStream input,
                                RequestOptions ropts) {
   Request req = make_request(model, std::move(input), ropts);
   const Ticket ticket{req.ticket};
+  // Admission chaos site: a FaultError here models a crash in the front
+  // door itself — nothing counted, nothing queued, the exception reaches
+  // the caller.
+  faults::check("serve.server.admit");
   if (shed_if_expired(req)) return ticket;
-  // Count *before* the push: once a request is in the queue it must be
+  // Count *before* the push: once a request is in a queue it must be
   // covered by submitted_, or drain() could observe completed == submitted
   // while a pushed-but-uncounted request is still in flight.
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     ++submitted_;
   }
-  if (!queue_.push(std::move(req))) {
+  const std::string tenant = req.tenant;
+  const int priority = req.priority;
+  const auto deadline = req.deadline;
+  const auto submitted_at = req.submitted_at;
+  const auto ticket_state = req.ticket;
+  auto out =
+      sched_.push(tenant, std::move(req), priority, deadline, /*block=*/true);
+  fail_displaced(std::move(out.displaced),
+                 "shed under overload: displaced by a newer request");
+  const auto rollback = [this] {
     {
       std::lock_guard<std::mutex> lk(stats_m_);
       --submitted_;
     }
     drained_cv_.notify_all();
-    throw ConfigError("submit on a shut-down server");
+  };
+  switch (out.status) {
+    case FairScheduler<Request>::PushStatus::kAccepted:
+      return ticket;
+    case FairScheduler<Request>::PushStatus::kFull: {
+      // The blocking wait for queue space timed out on the request's own
+      // deadline: shed, exactly like an admission-time expiry.
+      rollback();
+      {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        ++shed_;
+      }
+      sched_.note_shed(tenant);
+      ticket_state->fail(
+          std::make_exception_ptr(DeadlineExceeded(
+              "shed at admission: deadline passed while blocked on tenant "
+              "'" + tenant + "' queue")),
+          ms_since(submitted_at));
+      return ticket;
+    }
+    case FairScheduler<Request>::PushStatus::kRejectFast: {
+      rollback();
+      {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        ++breaker_rejected_;
+      }
+      ticket_state->fail(
+          std::make_exception_ptr(TenantOverload(
+              "circuit open for tenant '" + tenant +
+              "': rejecting fast until a probe succeeds")),
+          ms_since(submitted_at));
+      return ticket;
+    }
+    case FairScheduler<Request>::PushStatus::kClosed:
+      rollback();
+      throw ConfigError("submit on a shut-down server");
+    case FairScheduler<Request>::PushStatus::kUnknownTenant:
+      rollback();
+      throw ConfigError("tenant '" + tenant + "' was evicted");
   }
-  return ticket;
+  return ticket;  // unreachable
 }
 
 std::optional<Ticket> InferenceServer::try_submit(const std::string& model,
@@ -123,27 +278,64 @@ std::optional<Ticket> InferenceServer::try_submit(const std::string& model,
                                                   RequestOptions ropts) {
   Request req = make_request(model, std::move(input), ropts);
   const Ticket ticket{req.ticket};
+  faults::check("serve.server.admit");
   if (shed_if_expired(req)) return ticket;
   {
     std::lock_guard<std::mutex> lk(stats_m_);
     ++submitted_;
   }
-  const auto pushed = queue_.try_push(req);
-  if (pushed != BoundedQueue<Request>::PushResult::kAccepted) {
+  const std::string tenant = req.tenant;
+  const int priority = req.priority;
+  const auto deadline = req.deadline;
+  const auto submitted_at = req.submitted_at;
+  const auto ticket_state = req.ticket;
+  auto out =
+      sched_.push(tenant, std::move(req), priority, deadline, /*block=*/false);
+  fail_displaced(std::move(out.displaced),
+                 "shed under overload: displaced by a newer request");
+  const auto rollback = [this] {
     {
       std::lock_guard<std::mutex> lk(stats_m_);
       --submitted_;
-      // Only genuine overload counts as a rejection; a closed queue is a
-      // caller error, reported like submit() so retry loops don't spin
-      // against a dead server.
-      if (pushed == BoundedQueue<Request>::PushResult::kFull) ++rejected_;
     }
     drained_cv_.notify_all();
-    if (pushed == BoundedQueue<Request>::PushResult::kClosed)
+  };
+  switch (out.status) {
+    case FairScheduler<Request>::PushStatus::kAccepted:
+      return ticket;
+    case FairScheduler<Request>::PushStatus::kFull: {
+      // Genuine overload: the tenant's quota is exhausted with nothing
+      // sheddable (the scheduler booked the tenant-side rejection).
+      rollback();
+      {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        ++rejected_;
+      }
+      return std::nullopt;
+    }
+    case FairScheduler<Request>::PushStatus::kRejectFast: {
+      rollback();
+      {
+        std::lock_guard<std::mutex> lk(stats_m_);
+        ++breaker_rejected_;
+      }
+      ticket_state->fail(
+          std::make_exception_ptr(TenantOverload(
+              "circuit open for tenant '" + tenant +
+              "': rejecting fast until a probe succeeds")),
+          ms_since(submitted_at));
+      return ticket;
+    }
+    case FairScheduler<Request>::PushStatus::kClosed:
+      rollback();
+      // A closed scheduler is a caller error, reported like submit() so
+      // retry loops don't spin against a dead server.
       throw ConfigError("submit on a shut-down server");
-    return std::nullopt;
+    case FairScheduler<Request>::PushStatus::kUnknownTenant:
+      rollback();
+      throw ConfigError("tenant '" + tenant + "' was evicted");
   }
-  return ticket;
+  return std::nullopt;  // unreachable
 }
 
 void InferenceServer::worker_loop() {
@@ -154,20 +346,21 @@ void InferenceServer::worker_loop() {
   // behind close().
   constexpr auto kTick = std::chrono::milliseconds(100);
   for (;;) {
-    Request req;
-    switch (queue_.pop_for(kTick, req)) {
-      case BoundedQueue<Request>::PopStatus::kTimeout:
+    FairScheduler<Request>::Popped p;
+    switch (sched_.pop_for(kTick, p)) {
+      case FairScheduler<Request>::PopStatus::kTimeout:
         continue;
-      case BoundedQueue<Request>::PopStatus::kClosed:
+      case FairScheduler<Request>::PopStatus::kClosed:
         return;  // closed and drained
-      case BoundedQueue<Request>::PopStatus::kItem:
-        process(req);
+      case FairScheduler<Request>::PopStatus::kItem:
+        process(p.item, p.tenant, p.probe);
         break;
     }
   }
 }
 
-void InferenceServer::process(Request& req) {
+void InferenceServer::process(Request& req, const std::string& tenant,
+                              bool probe) {
   ecnn::NetworkRunStats result;
   std::exception_ptr error;
   bool deadline_expired = false;
@@ -211,8 +404,11 @@ void InferenceServer::process(Request& req) {
         // Retry on a freshly acquired engine. Fresh/reset engines are
         // bitwise identical, so the retried result equals the fault-free
         // run exactly — the failure is invisible to the caller.
-        std::lock_guard<std::mutex> lk(stats_m_);
-        ++retried_;
+        {
+          std::lock_guard<std::mutex> lk(stats_m_);
+          ++retried_;
+        }
+        sched_.note_retried(tenant);
         continue;
       }
       error = std::current_exception();
@@ -241,6 +437,22 @@ void InferenceServer::process(Request& req) {
       if (j < kLatencyReservoir) latencies_ms_[j] = lat_ms;
     }
   }
+  // Settle the tenant's ledger (and its breaker) before answering the
+  // ticket, so a waiter observes its own completion in stats(). Queue
+  // expiries are breaker-neutral: they say nothing about backend health.
+  FairScheduler<Request>::DoneRecord dr;
+  dr.probe = probe;
+  dr.latency_ms = lat_ms;
+  if (!error) {
+    dr.outcome = FairScheduler<Request>::Outcome::kSuccess;
+    dr.cycles = result.cycles;
+  } else if (deadline_expired) {
+    dr.outcome = FairScheduler<Request>::Outcome::kNeutral;
+    dr.expired = true;
+  } else {
+    dr.outcome = FairScheduler<Request>::Outcome::kFailure;
+  }
+  sched_.on_done(tenant, dr);
   if (error)
     req.ticket->fail(error, lat_ms);
   else
@@ -266,13 +478,16 @@ ServerStats InferenceServer::stats() const {
     s.shed = shed_;
     s.expired = expired_;
     s.retried = retried_;
+    s.evicted = evicted_;
+    s.breaker_rejected = breaker_rejected_;
     s.total_sim_cycles = total_sim_cycles_;
     s.passes_warm = passes_warm_;
     s.passes_total = passes_total_;
     lat = latencies_ms_;
   }
-  s.queue_depth = queue_.size();
-  s.peak_queue_depth = queue_.peak();
+  s.queue_depth = sched_.depth();
+  s.peak_queue_depth = sched_.peak_depth();
+  s.tenants = sched_.stats();
   s.elapsed_s = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - started_at_)
                     .count();

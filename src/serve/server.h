@@ -1,25 +1,38 @@
-// InferenceServer: the async front door of the serving runtime.
+// InferenceServer: the async multi-tenant front door of the serving runtime.
 //
 //   ModelRegistry registry;            // named resident models
 //   registry.load_file("gesture", "model.snem");
 //   InferenceServer server(registry, hw, opts);
-//   Ticket t = server.submit("gesture", stream);   // returns immediately
+//   server.register_tenant("mobile", {.weight = 4, .max_queue = 32});
+//   RequestOptions ro;
+//   ro.tenant = "mobile";
+//   Ticket t = server.submit("gesture", stream, ro);   // returns immediately
 //   const NetworkRunStats& r = t.wait();
 //
-// Requests enter a *bounded* admission queue (submit blocks on overload,
-// try_submit rejects — both are load-shedding policies a fronting RPC layer
-// can build on) and are dispatched by a fixed set of worker threads onto the
-// engine pool. The model name is resolved to an immutable snapshot at
-// submission, so re-pointing a name mid-flight never mixes weights within a
-// request.
+// Admission runs through a per-tenant weighted-fair scheduler
+// (serve::FairScheduler): each tenant owns a bounded queue and a
+// deficit-round-robin share of the dispatch workers, so one hot tenant can
+// saturate only its own quota — never another tenant's latency. Overload
+// degrades gracefully per tenant: priority-aware shedding inside the
+// tenant's queue, a deterministic circuit breaker that trips the tenant
+// into reject-fast mode on failure storms (and half-opens on a probe
+// cadence), and per-tenant SLO stats (p50/p90/p99, queue age, shed/expired
+// counts) in ServerStats::tenants. Requests that don't name a tenant land
+// on the default tenant, which preserves the single-FIFO semantics and
+// bits of the pre-tenant server.
 //
-// Determinism: a request's NetworkRunStats depends only on (model, input) —
-// never on the worker that ran it, the engine it happened to lease, the
-// submission order, or what ran on that engine before (pooled engines are
-// reset between requests, and every run rewinds its arbitration state).
-// test_serve pins served results bitwise against the serial
-// BatchRunner::run_one reference for shuffled submission orders and every
-// worker count.
+// Determinism: scheduling policy may reorder and shed, but a request's
+// NetworkRunStats depends only on (model, input) — never on the tenant mix,
+// the worker that ran it, the engine it leased, or the submission order.
+// test_serve and test_tenants pin served results bitwise against the serial
+// BatchRunner::run_one reference; `completed + failed == submitted` holds
+// globally and per tenant.
+//
+// Streaming: open_session() leases an engine for a long-lived
+// StreamingSession (chunked event-stream inference with carried neuron
+// state, heartbeat timeouts, crash recovery via neuron-state snapshots —
+// see serve/session.h). Sessions account to their tenant and close on
+// tenant eviction.
 //
 // Fault tolerance: requests can carry a deadline (RequestOptions) — expired
 // work is shed at admission or pre-dispatch with a DeadlineExceeded ticket,
@@ -28,7 +41,8 @@
 // request retries on a fresh engine within ServeOptions::retry_budget;
 // since fresh engines are bitwise identical to reset ones, retried results
 // equal the fault-free run exactly. tests/test_faults.cpp drives all of it
-// under the deterministic sne::faults injector.
+// under the deterministic sne::faults injector (admission chaos at the
+// `serve.server.admit` site included).
 #pragma once
 
 #include <chrono>
@@ -45,15 +59,19 @@
 #include "event/event_stream.h"
 #include "hwsim/memory.h"
 #include "ecnn/engine_pool.h"
-#include "serve/bounded_queue.h"
 #include "serve/registry.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
 #include "serve/ticket.h"
 
 namespace sne::serve {
 
 struct ServeOptions {
   unsigned engines = 2;             ///< dispatch workers == pooled engines
-  std::size_t queue_capacity = 64;  ///< bounded admission queue
+  /// Default tenant's bounded queue quota (kept for compatibility with the
+  /// single-FIFO server; registered tenants size their own quotas via
+  /// TenantConfig::max_queue).
+  std::size_t queue_capacity = 64;
   /// false: every request constructs a fresh engine instead of leasing from
   /// the pool. Results are identical either way; this is the A/B knob
   /// BM_ServeThroughput uses to price per-request construction.
@@ -63,7 +81,7 @@ struct ServeOptions {
   /// holds the model, and warm runs skip reprogramming resident passes.
   /// Results follow the *relaxed equality tier*: events, spikes and
   /// post-programming counters bitwise equal to the cold fresh-engine
-  /// reference, counter/cycle deltas exactly the skipped programming phase
+  /// reference, counter/cycle deltas exactly the skipped programming
   /// (see ecnn::NetworkRunner::run). false restores PR-4's strict tier
   /// (every request reprograms; results byte-identical to the reference,
   /// programming counters included).
@@ -90,6 +108,16 @@ struct RequestOptions {
   /// (ServerStats::expired). nullopt = wait forever (the pre-PR-6 default).
   std::optional<std::chrono::steady_clock::time_point> deadline;
 
+  /// Tenant this request is accounted (and queued) against. Must be the
+  /// default tenant or a name registered via register_tenant().
+  std::string tenant = kDefaultTenant;
+
+  /// Intra-tenant shedding priority (higher = more important). When the
+  /// tenant's queue is full, an incoming push may displace the tenant's
+  /// oldest expired entry, else its oldest entry of *strictly lower*
+  /// priority. Dispatch order is unaffected (FIFO within the tenant).
+  int priority = 0;
+
   /// Deadline `budget` from now — the common client idiom.
   static RequestOptions within(std::chrono::steady_clock::duration budget) {
     RequestOptions o;
@@ -102,20 +130,29 @@ struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   /// Tickets that completed with an exception — dispatch failures that
-  /// exhausted the retry budget plus deadline expiries (the `expired`
-  /// sub-count below). completed + failed always reaches submitted.
+  /// exhausted the retry budget, deadline expiries (the `expired` sub-count
+  /// below), and queued requests displaced by overload shedding or tenant
+  /// eviction (the `evicted` sub-count). completed + failed always reaches
+  /// submitted.
   std::uint64_t failed = 0;
-  std::uint64_t rejected = 0;  ///< try_submit refusals (queue full)
+  std::uint64_t rejected = 0;  ///< try_submit refusals (tenant queue full)
   /// Deadline accounting (requests failed fast, never simulated):
-  /// shed at admission (deadline already passed at submit; not counted in
-  /// submitted/failed) vs expired pre-dispatch (queue age burned the
-  /// budget; counted in failed too).
+  /// shed at admission (deadline already passed at submit, or a blocking
+  /// submit timed out on a full queue; not counted in submitted/failed) vs
+  /// expired pre-dispatch (queue age burned the budget; counted in failed
+  /// too).
   std::uint64_t shed = 0;
   std::uint64_t expired = 0;
   /// Dispatch retry attempts after an exception (bounded per request by
   /// ServeOptions::retry_budget); the throwing engines are quarantined.
   std::uint64_t retried = 0;
-  std::size_t queue_depth = 0;
+  /// Queued requests displaced after admission (same-tenant overload
+  /// shedding, tenant eviction); sub-count of failed.
+  std::uint64_t evicted = 0;
+  /// Requests answered fast by an open circuit breaker (never admitted;
+  /// not counted in submitted).
+  std::uint64_t breaker_rejected = 0;
+  std::size_t queue_depth = 0;       ///< across all tenant queues
   std::size_t peak_queue_depth = 0;
   double elapsed_s = 0.0;         ///< since server construction
   double throughput_rps = 0.0;    ///< completed / elapsed
@@ -141,6 +178,9 @@ struct ServerStats {
   /// poisoned engine is never re-leased.
   std::uint64_t engines_quarantined = 0;
   std::uint64_t engines_discarded = 0;
+  /// Per-tenant SLO ledgers (default tenant included; evicted tenants keep
+  /// reporting their final ledger). Ordered by tenant name.
+  std::vector<TenantStats> tenants;
 };
 
 class InferenceServer {
@@ -154,21 +194,45 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Admits a request, blocking while the queue is full. Throws ConfigError
-  /// when the model is unknown or the server is shutting down. A request
-  /// whose deadline already passed is shed: the returned ticket fails with
-  /// DeadlineExceeded without ever touching the queue.
+  /// Registers a tenant with its own queue quota and fair-share weight.
+  /// Throws ConfigError on invalid config or duplicate (or previously
+  /// evicted) names.
+  void register_tenant(const std::string& name, TenantConfig cfg);
+
+  /// Evicts a tenant: closes its streaming sessions, fails its queued
+  /// requests with TenantOverload, and refuses its future submits
+  /// (ConfigError — the name is not recycled). In-flight requests finish;
+  /// the tenant's ledger survives in stats(). The default tenant cannot be
+  /// evicted.
+  void evict_tenant(const std::string& name);
+
+  /// Admits a request, blocking while the tenant's queue is full — but
+  /// never past the request's own deadline (a timed-out wait sheds with
+  /// DeadlineExceeded). Throws ConfigError when the model or tenant is
+  /// unknown or the server is shutting down. Requests the overload policy
+  /// refuses (expired deadline, open circuit breaker) return an
+  /// already-failed ticket (DeadlineExceeded / TenantOverload) without
+  /// touching a queue.
   Ticket submit(const std::string& model, event::EventStream input,
                 RequestOptions ropts = {});
 
-  /// Non-blocking admission: nullopt (and a `rejected` tick) when the queue
-  /// is full. Throws ConfigError when the model is unknown or the server is
-  /// shutting down (shutdown is not overload; retry loops must not spin).
-  /// Expired deadlines shed like submit() (a returned, already-failed
-  /// ticket — shedding is an answer, not overload).
+  /// Non-blocking admission: nullopt (and a `rejected` tick) when the
+  /// tenant's quota is exhausted with nothing sheddable. Throws ConfigError
+  /// when the model or tenant is unknown or the server is shutting down
+  /// (shutdown is not overload; retry loops must not spin). Expired
+  /// deadlines and breaker rejections answer like submit() (a returned,
+  /// already-failed ticket — an answer, not overload).
   std::optional<Ticket> try_submit(const std::string& model,
                                    event::EventStream input,
                                    RequestOptions ropts = {});
+
+  /// Opens a streaming session against `model` for `sopts.tenant` (see
+  /// serve/session.h): leases an engine for the session lifetime, programs
+  /// the model in pipeline mode, accounts chunks to the tenant. Throws
+  /// ConfigError (unknown model/tenant, model unfit for pipeline mode) or
+  /// TenantOverload (session quota exhausted).
+  std::shared_ptr<StreamingSession> open_session(const std::string& model,
+                                                 SessionOptions sopts = {});
 
   /// Blocks until every admitted request has completed.
   void drain();
@@ -186,24 +250,34 @@ class InferenceServer {
     std::shared_ptr<detail::TicketState> ticket;
     std::chrono::steady_clock::time_point submitted_at;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::string tenant;
+    int priority = 0;
   };
 
   Request make_request(const std::string& model, event::EventStream input,
                        const RequestOptions& ropts);
   /// Sheds `req` at admission when its deadline has already passed: fails
-  /// the ticket with DeadlineExceeded and counts `shed`. Returns whether it
-  /// shed (the caller then skips the queue entirely).
+  /// the ticket with DeadlineExceeded and counts `shed` (globally and on
+  /// the tenant). Returns whether it shed (the caller then skips the queue
+  /// entirely).
   bool shed_if_expired(Request& req);
+  /// Fails the tickets of requests displaced from a tenant queue
+  /// (overload shedding / eviction) and counts them failed+evicted
+  /// globally (the scheduler already counted the tenant side).
+  void fail_displaced(std::vector<Request> displaced, const char* why);
   void worker_loop();
-  void process(Request& req);
+  void process(Request& req, const std::string& tenant, bool probe);
 
   const ModelRegistry& registry_;
   core::SneConfig hw_;
   ServeOptions opts_;
   ecnn::EnginePool pool_;
-  BoundedQueue<Request> queue_;
+  FairScheduler<Request> sched_;
   std::vector<std::thread> workers_;
   std::chrono::steady_clock::time_point started_at_;
+
+  std::mutex sessions_m_;
+  std::vector<std::shared_ptr<StreamingSession>> sessions_;
 
   mutable std::mutex stats_m_;
   std::condition_variable drained_cv_;
@@ -214,6 +288,8 @@ class InferenceServer {
   std::uint64_t shed_ = 0;
   std::uint64_t expired_ = 0;
   std::uint64_t retried_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t breaker_rejected_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t total_sim_cycles_ = 0;
   std::uint64_t passes_warm_ = 0;

@@ -124,6 +124,7 @@ class Ticket {
  private:
   friend class InferenceServer;
   friend class PipelineDeployment;
+  friend class StreamingSession;
   explicit Ticket(std::shared_ptr<detail::TicketState> state)
       : state_(std::move(state)) {}
   std::shared_ptr<detail::TicketState> state_;

@@ -40,7 +40,9 @@
 #include "serve/checkpoint.h"
 #include "serve/pipeline.h"
 #include "serve/registry.h"
+#include "serve/scheduler.h"
 #include "serve/server.h"
+#include "serve/session.h"
 
 namespace sne {
 namespace {
@@ -115,6 +117,36 @@ QuantizedNetwork three_layer_net() {
   net.layers.push_back(pool_layer(8, 16));
   net.layers.push_back(fc_layer(8, 8, 10, 13));
   return net;
+}
+
+/// conv -> conv chain that fits pipeline operating mode on the 2-slice
+/// design point (what streaming sessions program).
+QuantizedNetwork pipeline_net() {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 4, 31));
+  auto l2 = conv_layer(2, 16, 2, 5, 32);
+  l2.name = "conv2";
+  net.layers.push_back(l2);
+  return net;
+}
+
+/// Splits a raw stream into chunk-local pieces of `chunk_t` timesteps.
+std::vector<event::EventStream> split_chunks(const event::EventStream& full,
+                                             std::uint16_t chunk_t) {
+  std::vector<event::EventStream> chunks;
+  const std::uint16_t total = full.geometry().timesteps;
+  for (std::uint16_t t0 = 0; t0 < total; t0 += chunk_t) {
+    event::StreamGeometry g = full.geometry();
+    g.timesteps = std::min<std::uint16_t>(chunk_t, total - t0);
+    event::EventStream c(g);
+    for (event::Event e : full.events())
+      if (e.t >= t0 && e.t < t0 + g.timesteps) {
+        e.t = static_cast<std::uint16_t>(e.t - t0);
+        c.push(e);
+      }
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
 }
 
 void expect_equivalent(const NetworkRunStats& ref, const NetworkRunStats& got) {
@@ -521,9 +553,14 @@ TEST(PipelineChaosTest, StageFaultFailsOneJobDiagnosablyAndRespawns) {
       expect_equivalent(ref[i], t.wait());  // bitwise, before AND after
     }
   }
-  // The failing stage quarantined its engine and respawned on a fresh one.
-  // (Pool stats aren't exposed via the deployment; the bitwise-correct
-  // post-fault jobs above are the observable proof of the respawn.)
+  // The failing stage quarantined its engine and respawned on a fresh one;
+  // the deployment ledger records exactly that (and the bitwise-correct
+  // post-fault jobs above prove the respawned engine is clean).
+  const serve::PipelineDeployment::Stats st = deployment.stats();
+  EXPECT_EQ(st.jobs_completed, 3u);
+  EXPECT_EQ(st.jobs_failed, 1u);
+  EXPECT_EQ(st.stage_respawns, 1u);
+  EXPECT_EQ(st.watchdog_failures, 0u);
 }
 
 TEST(PipelineChaosTest, WatchdogFailsJobsStuckBehindAStalledStage) {
@@ -561,6 +598,164 @@ TEST(PipelineChaosTest, WatchdogFailsJobsStuckBehindAStalledStage) {
   // The stage itself is healthy: the next job runs bitwise clean.
   expect_equivalent(runner.run(net, inputs[2]),
                     deployment.submit(inputs[2]).wait());
+  const serve::PipelineDeployment::Stats st = deployment.stats();
+  EXPECT_EQ(st.jobs_completed, 2u);
+  EXPECT_EQ(st.jobs_failed, 1u);
+  EXPECT_EQ(st.watchdog_failures, 1u);
+  EXPECT_EQ(st.stage_respawns, 0u);  // a slow stage is not a dead one
+}
+
+// --- admission chaos under fair-share load -----------------------------------
+
+TEST(AdmissionChaosTest, AdmitFaultsLeaveNoResidueUnderMultiTenantLoad) {
+  const QuantizedNetwork net = three_layer_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::ModelRegistry registry;
+  registry.put("m", net);
+
+  constexpr std::uint64_t kPerTenant = 8;
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 3 * kPerTenant; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 700 + s));
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  ecnn::BatchRunner batch(hw, net, bo);
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) ref.push_back(batch.run_one(in));
+
+  serve::ServeOptions so;
+  so.engines = 2;
+  so.memory_words = 1u << 20;
+  so.warm_weights = false;  // strict tier for the survivors
+  serve::InferenceServer server(registry, hw, so);
+  for (const auto& [name, w] : {std::pair<const char*, unsigned>{"a", 1},
+                                {"b", 2},
+                                {"c", 4}}) {
+    serve::TenantConfig cfg;
+    cfg.weight = w;
+    server.register_tenant(name, cfg);
+  }
+
+  // A crash in the front door itself: serve.server.admit fires *before* any
+  // counting or queuing, so a faulted submit must leave zero residue — no
+  // submitted tick, no queue entry, no ticket obligation. Sequential submits
+  // from one thread make hit n = submission n (tenant (n-1) % 3).
+  std::vector<std::optional<serve::Ticket>> tickets(inputs.size());
+  std::uint64_t crashed = 0;
+  {
+    FaultConfig cfg;
+    cfg.seed = 7;
+    cfg.rules.push_back(FaultRule{"serve.server.admit", {}, 0.3, 0.0});
+    ScopedFaults chaos(cfg);
+    const char* tenants[] = {"a", "b", "c"};
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      serve::RequestOptions ro;
+      ro.tenant = tenants[i % 3];
+      try {
+        tickets[i] = server.submit("m", inputs[i], ro);
+      } catch (const FaultError&) {
+        ++crashed;
+        // The crashed submit fired exactly at this hit; the fired set is a
+        // pure function of (seed, site, hit index).
+        EXPECT_LT(FaultInjector::coin(7, "serve.server.admit", i + 1), 0.3)
+            << "submit " << i + 1 << " crashed off the seeded schedule";
+      }
+    }
+    EXPECT_EQ(FaultInjector::instance().fired("serve.server.admit"), crashed);
+  }
+  ASSERT_GT(crashed, 0u);  // seed 7 fires 8 of these 24 hits
+  ASSERT_LT(crashed, inputs.size());
+
+  // Every surviving request completes bitwise against the serial reference —
+  // admission chaos sheds traffic, it never corrupts what runs.
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    if (tickets[i]) expect_equivalent(ref[i], tickets[i]->wait());
+  server.drain();
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.submitted, inputs.size() - crashed);
+  EXPECT_EQ(st.completed, inputs.size() - crashed);
+  EXPECT_EQ(st.failed, 0u);
+  std::uint64_t tenant_submitted = 0;
+  for (const serve::TenantStats& t : st.tenants) {
+    EXPECT_EQ(t.completed + t.failed, t.submitted) << t.name;
+    tenant_submitted += t.submitted;
+  }
+  EXPECT_EQ(tenant_submitted, st.submitted);
+}
+
+// --- streaming-session chaos -------------------------------------------------
+
+TEST(SessionChaosTest, ChunkFaultStormRespawnsMidSessionBitwise) {
+  const QuantizedNetwork net = pipeline_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  const auto model = std::make_shared<const QuantizedNetwork>(net);
+  const auto full = data::random_stream({1, 16, 16, 24}, 0.1, 640);
+  auto chunks = split_chunks(full, 4);
+  ASSERT_EQ(chunks.size(), 6u);
+
+  // Seed 7 fires serve.session.chunk hits {2, 3, 6} at p = 0.35: a
+  // consecutive double failure mid-session (respawn, crash again, respawn)
+  // and a failure on the final chunk (poisoned lease released at close).
+  const double p = 0.35;
+  std::vector<std::size_t> fired;
+  for (std::uint64_t n = 1; n <= chunks.size(); ++n)
+    if (FaultInjector::coin(7, "serve.session.chunk", n) < p)
+      fired.push_back(static_cast<std::size_t>(n - 1));
+  ASSERT_EQ(fired, (std::vector<std::size_t>{1, 2, 5}));
+
+  ecnn::EnginePoolOptions po;
+  po.memory_words = 1u << 20;
+  ecnn::EnginePool pool(hw, 0, po);
+  serve::SessionOptions sopts;
+  sopts.horizon_timesteps = 24;
+  serve::StreamingSession victim(pool, model, sopts);
+  std::vector<NetworkRunStats> survived;
+  std::vector<std::size_t> survived_idx;
+  {
+    FaultConfig cfg;
+    cfg.seed = 7;
+    cfg.rules.push_back(FaultRule{"serve.session.chunk", {}, p, 0.0});
+    ScopedFaults chaos(cfg);
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const bool expect_fault =
+          std::find(fired.begin(), fired.end(), i) != fired.end();
+      try {
+        NetworkRunStats r = victim.feed(chunks[i]).wait();
+        EXPECT_FALSE(expect_fault) << "chunk " << i << " should have crashed";
+        survived.push_back(std::move(r));
+        survived_idx.push_back(i);
+      } catch (const serve::ChunkError& e) {
+        EXPECT_TRUE(expect_fault) << "chunk " << i << " crashed off the "
+                                  << "seeded schedule: " << e.what();
+      }
+    }
+  }
+  victim.close();
+
+  // A failed chunk never advances the session clock, so the victim's spike
+  // history is exactly "the surviving chunks, fed back to back" — replay
+  // them through an undisturbed session and every survivor must be bitwise
+  // identical (cycles, counters, events).
+  serve::StreamingSession replay(pool, model, sopts);
+  for (std::size_t k = 0; k < survived.size(); ++k) {
+    const NetworkRunStats r = replay.feed(chunks[survived_idx[k]]).wait();
+    EXPECT_EQ(survived[k].cycles, r.cycles) << "survivor " << k;
+    EXPECT_TRUE(survived[k].total == r.total) << "survivor " << k;
+    EXPECT_TRUE(survived[k].final_output == r.final_output)
+        << "survivor " << k;
+  }
+  replay.close();
+
+  const serve::SessionStats st = victim.stats();
+  EXPECT_EQ(st.chunks_submitted, chunks.size());
+  EXPECT_EQ(st.chunks_completed, chunks.size() - fired.size());
+  EXPECT_EQ(st.chunks_failed, fired.size());
+  // Chunks 1 and 2 each poisoned the lease and the next dispatch respawned;
+  // chunk 5's poisoned lease was still unreplaced at close (no respawn).
+  EXPECT_EQ(st.respawns, 2u);
+  EXPECT_EQ(st.timesteps_consumed, 4u * (chunks.size() - fired.size()));
+  // Every poisoned engine was discarded by the pool, never re-leased.
+  EXPECT_EQ(pool.stats().quarantined, 3u);
 }
 
 // --- crash-consistent checkpoints --------------------------------------------

@@ -1,0 +1,937 @@
+// Multi-tenant front-door suite: weighted-fair admission (FairScheduler),
+// SLO-aware overload control (priority shedding, circuit breaker), and
+// crash-tolerant streaming sessions (StreamingSession).
+//
+// The two contracts under test:
+//   - Fairness is policy, results are physics: deficit-round-robin may
+//     reorder and shed, but every completed result stays bitwise identical
+//     to the serial reference, and `completed + failed == submitted` holds
+//     per tenant as well as globally.
+//   - Sessions carry neuron state across chunks and across engine respawns:
+//     a mid-session crash loses only the in-flight chunk, and the chunks
+//     around it are bitwise identical to an undisturbed session.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "ecnn/batch_runner.h"
+#include "ecnn/engine_pool.h"
+#include "ecnn/runner.h"
+#include "serve/bounded_queue.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "test_util.h"
+
+namespace sne {
+namespace {
+
+using core::SneConfig;
+using core::SneEngine;
+using ecnn::NetworkRunStats;
+using ecnn::QuantizedLayerSpec;
+using ecnn::QuantizedNetwork;
+using serve::FairScheduler;
+using serve::TenantConfig;
+using serve::TenantStats;
+
+QuantizedLayerSpec conv_layer(std::uint16_t in_ch, std::uint16_t size,
+                              std::uint16_t out_ch, std::int32_t v_th,
+                              std::uint64_t seed) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kConv;
+  l.name = "conv";
+  l.in_ch = in_ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = out_ch;
+  l.kernel = 3;
+  l.stride = 1;
+  l.pad = 1;
+  l.weights.resize(static_cast<std::size_t>(out_ch) * in_ch * 9);
+  Rng rng(seed);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-4, 7));
+  l.lif.v_th = v_th;
+  l.lif.leak = 1;
+  return l;
+}
+
+QuantizedLayerSpec pool_layer(std::uint16_t ch, std::uint16_t size) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kPool;
+  l.name = "pool";
+  l.in_ch = ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = ch;
+  l.kernel = 2;
+  l.stride = 2;
+  l.pad = 0;
+  l.lif.v_th = 0;
+  l.lif.leak = 0;
+  return l;
+}
+
+QuantizedLayerSpec fc_layer(std::uint16_t in_ch, std::uint16_t size,
+                            std::uint16_t outputs, std::uint64_t seed) {
+  QuantizedLayerSpec l;
+  l.type = ecnn::LayerSpec::Type::kFc;
+  l.name = "fc";
+  l.in_ch = in_ch;
+  l.in_w = size;
+  l.in_h = size;
+  l.out_ch = outputs;
+  l.weights.resize(static_cast<std::size_t>(outputs) * l.in_flat());
+  Rng rng(seed);
+  for (auto& w : l.weights) w = static_cast<std::int8_t>(rng.uniform_int(-7, 7));
+  l.lif.v_th = 6;
+  l.lif.leak = 1;
+  return l;
+}
+
+QuantizedNetwork three_layer_net() {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 8, 4, 11));
+  net.layers.push_back(pool_layer(8, 16));
+  net.layers.push_back(fc_layer(8, 8, 10, 13));
+  return net;
+}
+
+/// Small fast model for load tests (single conv, 8x8, 4 timesteps inputs).
+QuantizedNetwork tiny_net() {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 8, 2, 4, 21));
+  return net;
+}
+
+/// conv -> conv chain that fits pipeline operating mode on the 2-slice
+/// design point (single round / single pass per layer).
+QuantizedNetwork pipeline_net() {
+  QuantizedNetwork net;
+  net.layers.push_back(conv_layer(1, 16, 2, 4, 31));
+  auto l2 = conv_layer(2, 16, 2, 5, 32);
+  l2.name = "conv2";
+  net.layers.push_back(l2);
+  return net;
+}
+
+void expect_equivalent(const NetworkRunStats& ref, const NetworkRunStats& got) {
+  EXPECT_EQ(ref.cycles, got.cycles);
+  EXPECT_TRUE(ref.total == got.total)
+      << "counters diverge:\nref: " << ref.total << "\ngot: " << got.total;
+  ASSERT_EQ(ref.layers.size(), got.layers.size());
+  for (std::size_t i = 0; i < ref.layers.size(); ++i) {
+    EXPECT_EQ(ref.layers[i].cycles, got.layers[i].cycles) << "layer " << i;
+    EXPECT_TRUE(ref.layers[i].counters == got.layers[i].counters)
+        << "layer " << i;
+    EXPECT_TRUE(ref.layers[i].output == got.layers[i].output) << "layer " << i;
+  }
+  EXPECT_TRUE(ref.final_output == got.final_output);
+}
+
+const TenantStats& tenant_stats(const serve::ServerStats& st,
+                                const std::string& name) {
+  for (const TenantStats& t : st.tenants)
+    if (t.name == name) return t;
+  ADD_FAILURE() << "no tenant '" << name << "' in stats";
+  static const TenantStats kEmpty{};
+  return kEmpty;
+}
+
+/// Sorted (t, ch, x, y) spike tuples — the order-independent functional view
+/// of an output stream.
+std::vector<std::tuple<int, int, int, int>> spike_set(
+    const event::EventStream& s) {
+  std::vector<std::tuple<int, int, int, int>> out;
+  for (const event::Event& e : s.events())
+    if (e.op == event::Op::kUpdate) out.emplace_back(e.t, e.ch, e.x, e.y);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Splits a raw stream into chunk-local pieces of `chunk_t` timesteps.
+std::vector<event::EventStream> split_chunks(const event::EventStream& full,
+                                             std::uint16_t chunk_t) {
+  std::vector<event::EventStream> chunks;
+  const std::uint16_t total = full.geometry().timesteps;
+  for (std::uint16_t t0 = 0; t0 < total; t0 += chunk_t) {
+    event::StreamGeometry g = full.geometry();
+    g.timesteps = std::min<std::uint16_t>(chunk_t, total - t0);
+    event::EventStream c(g);
+    for (event::Event e : full.events())
+      if (e.t >= t0 && e.t < t0 + g.timesteps) {
+        e.t = static_cast<std::uint16_t>(e.t - t0);
+        c.push(e);
+      }
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+// --- BoundedQueue::push_for (timed admission) --------------------------------
+
+TEST(BoundedQueueTest, PushForHonorsTimeoutAndClose) {
+  serve::BoundedQueue<int> q(1);
+  using PR = serve::BoundedQueue<int>::PushResult;
+  int v = 1;
+  ASSERT_EQ(q.try_push(v), PR::kAccepted);
+
+  // Full queue: a timed push waits, then gives up instead of sleeping on.
+  int w = 2;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.push_for(std::chrono::milliseconds(60), w), PR::kFull);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, std::chrono::milliseconds(40));
+  EXPECT_EQ(w, 2);  // the item is untouched on refusal
+
+  int out = 0;
+  ASSERT_EQ(q.pop_for(std::chrono::milliseconds(10), out),
+            serve::BoundedQueue<int>::PopStatus::kItem);
+  EXPECT_EQ(q.push_for(std::chrono::milliseconds(10), w), PR::kAccepted);
+
+  // A push_for parked on a full queue wakes on close with kClosed.
+  int z = 3;
+  std::thread closer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    q.close();
+  });
+  EXPECT_EQ(q.push_for(std::chrono::seconds(10), z), PR::kClosed);
+  closer.join();
+}
+
+// --- FairScheduler (policy level, no engines) --------------------------------
+
+TEST(FairSchedulerTest, DrrSharesAreExactUnderSaturation) {
+  TenantConfig base;
+  base.max_queue = 128;
+  FairScheduler<std::pair<char, int>> sched(base);
+  for (const auto& [name, w] : {std::pair<const char*, unsigned>{"a", 1},
+                                {"b", 2},
+                                {"c", 4}}) {
+    TenantConfig cfg;
+    cfg.weight = w;
+    cfg.max_queue = 128;
+    sched.register_tenant(name, cfg);
+  }
+  using Sched = FairScheduler<std::pair<char, int>>;
+  for (int i = 0; i < 70; ++i)
+    for (const char t : {'a', 'b', 'c'}) {
+      const auto out = sched.push(std::string(1, t), {t, i}, 0, std::nullopt,
+                                  /*block=*/false);
+      ASSERT_EQ(out.status, Sched::PushStatus::kAccepted);
+    }
+
+  // 10 full DRR rounds drain exactly weight-proportional counts, and each
+  // tenant's own queue drains in FIFO order.
+  std::map<char, int> served;
+  std::map<char, int> next_idx;
+  for (int i = 0; i < 70; ++i) {
+    Sched::Popped p;
+    ASSERT_EQ(sched.pop_for(std::chrono::milliseconds(100), p),
+              Sched::PopStatus::kItem);
+    ++served[p.item.first];
+    EXPECT_EQ(p.item.second, next_idx[p.item.first]++)
+        << "tenant " << p.item.first << " served out of FIFO order";
+    sched.on_done(p.tenant, {});
+  }
+  EXPECT_EQ(served['a'], 10);
+  EXPECT_EQ(served['b'], 20);
+  EXPECT_EQ(served['c'], 40);
+}
+
+TEST(FairSchedulerTest, SingleTenantDegeneratesToFifo) {
+  TenantConfig base;
+  base.max_queue = 64;
+  FairScheduler<int> sched(base);
+  // Priorities affect shedding only, never dispatch order.
+  for (int i = 0; i < 20; ++i) {
+    const auto out = sched.push(serve::kDefaultTenant, i, /*priority=*/i % 3,
+                                std::nullopt, false);
+    ASSERT_EQ(out.status, FairScheduler<int>::PushStatus::kAccepted);
+  }
+  for (int i = 0; i < 20; ++i) {
+    FairScheduler<int>::Popped p;
+    ASSERT_EQ(sched.pop_for(std::chrono::milliseconds(100), p),
+              FairScheduler<int>::PopStatus::kItem);
+    EXPECT_EQ(p.item, i);
+    sched.on_done(p.tenant, {});
+  }
+  EXPECT_TRUE(sched.drained());
+}
+
+TEST(FairSchedulerTest, PriorityDisplacementNeverCrossesTenants) {
+  TenantConfig base;
+  FairScheduler<int> sched(base);
+  TenantConfig small;
+  small.max_queue = 3;
+  sched.register_tenant("t", small);
+  TenantConfig one;
+  one.max_queue = 1;
+  sched.register_tenant("u", one);
+  using S = FairScheduler<int>;
+
+  ASSERT_EQ(sched.push("u", 99, 0, std::nullopt, false).status,
+            S::PushStatus::kAccepted);
+  for (const int v : {1, 2, 3})
+    ASSERT_EQ(sched.push("t", v, 0, std::nullopt, false).status,
+              S::PushStatus::kAccepted);
+
+  // Higher priority displaces t's own oldest lowest-priority entry...
+  auto out = sched.push("t", 4, 1, std::nullopt, false);
+  EXPECT_EQ(out.status, S::PushStatus::kAccepted);
+  ASSERT_EQ(out.displaced.size(), 1u);
+  EXPECT_EQ(out.displaced[0], 1);
+  // ...equal priority displaces nothing (strictly-lower rule)...
+  EXPECT_EQ(sched.push("t", 5, 0, std::nullopt, false).status,
+            S::PushStatus::kFull);
+  // ...and u's full queue was never a displacement candidate.
+  S::Popped p;
+  ASSERT_EQ(sched.pop_for(std::chrono::milliseconds(100), p),
+            S::PopStatus::kItem);
+  // Ring order is first-activation order: u pushed first.
+  EXPECT_EQ(p.tenant, "u");
+  EXPECT_EQ(p.item, 99);
+  sched.on_done("u", {});
+
+  const auto stats = sched.stats();
+  for (const TenantStats& t : stats) {
+    if (t.name == "t") {
+      EXPECT_EQ(t.evicted, 1u);
+      EXPECT_EQ(t.rejected, 1u);
+    }
+    if (t.name == "u") {
+      EXPECT_EQ(t.evicted, 0u);
+    }
+  }
+}
+
+TEST(FairSchedulerTest, ExpiredEntriesAreDisplacedFirst) {
+  TenantConfig base;
+  base.max_queue = 2;
+  FairScheduler<int> sched(base);
+  using S = FairScheduler<int>;
+  const auto past = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(5);
+  // The expired entry loses its slot even to an equal-priority push (a
+  // plain lower-priority scan would find nothing to shed here).
+  ASSERT_EQ(sched.push(serve::kDefaultTenant, 1, 5, past, false).status,
+            S::PushStatus::kAccepted);
+  ASSERT_EQ(sched.push(serve::kDefaultTenant, 2, 5, std::nullopt, false)
+                .status,
+            S::PushStatus::kAccepted);
+  auto out = sched.push(serve::kDefaultTenant, 3, 5, std::nullopt, false);
+  EXPECT_EQ(out.status, S::PushStatus::kAccepted);
+  ASSERT_EQ(out.displaced.size(), 1u);
+  EXPECT_EQ(out.displaced[0], 1);
+}
+
+TEST(FairSchedulerTest, InflightCapForfeitsTurnWithoutBlockingTheRing) {
+  TenantConfig base;
+  FairScheduler<int> sched(base);
+  TenantConfig capped;
+  capped.max_inflight = 1;
+  capped.max_queue = 8;
+  sched.register_tenant("x", capped);
+  TenantConfig plain;
+  plain.max_queue = 8;
+  sched.register_tenant("y", plain);
+  using S = FairScheduler<int>;
+
+  ASSERT_EQ(sched.push("x", 1, 0, std::nullopt, false).status,
+            S::PushStatus::kAccepted);
+  ASSERT_EQ(sched.push("x", 2, 0, std::nullopt, false).status,
+            S::PushStatus::kAccepted);
+  ASSERT_EQ(sched.push("y", 3, 0, std::nullopt, false).status,
+            S::PushStatus::kAccepted);
+
+  S::Popped p;
+  ASSERT_EQ(sched.pop_for(std::chrono::milliseconds(50), p),
+            S::PopStatus::kItem);
+  EXPECT_EQ(p.item, 1);  // x first (activation order)
+  // x is now at its inflight cap: its turn is forfeited, y serves.
+  ASSERT_EQ(sched.pop_for(std::chrono::milliseconds(50), p),
+            S::PopStatus::kItem);
+  EXPECT_EQ(p.item, 3);
+  sched.on_done("y", {});
+  // Nothing serveable: x capped with queued work, y empty.
+  EXPECT_EQ(sched.pop_for(std::chrono::milliseconds(20), p),
+            S::PopStatus::kTimeout);
+  // Releasing x's slot makes its queue serveable again.
+  sched.on_done("x", {});
+  ASSERT_EQ(sched.pop_for(std::chrono::milliseconds(50), p),
+            S::PopStatus::kItem);
+  EXPECT_EQ(p.item, 2);
+  sched.on_done("x", {});
+  EXPECT_TRUE(sched.drained());
+}
+
+TEST(FairSchedulerTest, EvictPurgesRefusesAndKeepsLedger) {
+  TenantConfig base;
+  FairScheduler<int> sched(base);
+  TenantConfig cfg;
+  cfg.max_queue = 8;
+  sched.register_tenant("e", cfg);
+  using S = FairScheduler<int>;
+  for (const int v : {1, 2, 3})
+    ASSERT_EQ(sched.push("e", v, 0, std::nullopt, false).status,
+              S::PushStatus::kAccepted);
+
+  const std::vector<int> purged = sched.evict("e");
+  EXPECT_EQ(purged, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(sched.has_tenant("e"));
+  EXPECT_EQ(sched.push("e", 4, 0, std::nullopt, false).status,
+            S::PushStatus::kUnknownTenant);
+  // Names are not recycled: the ledger must survive unambiguously.
+  EXPECT_THROW(sched.register_tenant("e", cfg), ConfigError);
+
+  for (const TenantStats& t : sched.stats())
+    if (t.name == "e") {
+      EXPECT_EQ(t.submitted, 3u);
+      EXPECT_EQ(t.failed, 3u);
+      EXPECT_EQ(t.evicted, 3u);
+      EXPECT_EQ(t.queue_depth, 0u);
+    }
+  EXPECT_TRUE(sched.drained());  // eviction answered everything admitted
+}
+
+TEST(FairSchedulerTest, ConfigValidation) {
+  TenantConfig base;
+  FairScheduler<int> sched(base);
+  TenantConfig bad;
+  bad.weight = 0;
+  EXPECT_THROW(sched.register_tenant("w", bad), ConfigError);
+  bad = TenantConfig{};
+  bad.max_queue = 0;
+  EXPECT_THROW(sched.register_tenant("q", bad), ConfigError);
+  bad = TenantConfig{};
+  bad.breaker_probe_interval = 0;
+  EXPECT_THROW(sched.register_tenant("p", bad), ConfigError);
+  sched.register_tenant("ok", TenantConfig{});
+  EXPECT_THROW(sched.register_tenant("ok", TenantConfig{}), ConfigError);
+}
+
+// --- server: fairness, isolation, accounting ---------------------------------
+
+TEST(TenantServerTest, SaturatedSharesTrackWeights) {
+  serve::ModelRegistry registry;
+  registry.put("m", tiny_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::ServeOptions so;
+  so.engines = 1;  // one dispatcher: shares come purely from the scheduler
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, hw, so);
+  for (const auto& [name, w] : {std::pair<const char*, unsigned>{"a", 1},
+                                {"b", 2},
+                                {"c", 4}}) {
+    TenantConfig cfg;
+    cfg.weight = w;
+    cfg.max_queue = 64;
+    server.register_tenant(name, cfg);
+  }
+
+  // Pace every dispatch with a deterministic 4 ms stall so the queues stay
+  // saturated long enough to observe mid-drain shares.
+  faults::FaultConfig fc;
+  fc.seed = 7;
+  fc.rules.push_back({"serve.server.dispatch", {}, 1.0, /*stall_ms=*/4.0});
+  faults::ScopedFaults chaos(fc);
+
+  // Sized so that at the snapshot point (105 completions) every tenant is
+  // still backlogged: the weight-4 tenant drains its last request only at
+  // completion 7/4 * kPerTenant ≈ 157 — past-drain tails would otherwise
+  // hand the fast tenant's share to the slow ones.
+  constexpr int kPerTenant = 90;
+  std::vector<serve::Ticket> tickets;
+  for (int i = 0; i < kPerTenant; ++i)
+    for (const char* t : {"a", "b", "c"}) {
+      serve::RequestOptions ro;
+      ro.tenant = t;
+      tickets.push_back(server.submit(
+          "m", data::random_stream({1, 8, 8, 4}, 0.1, 100 + i), ro));
+    }
+
+  // Poll for a mid-drain snapshot with >= 15 full DRR rounds completed (the
+  // per-round skew bound is then 7/105 < 0.1).
+  std::uint64_t ca = 0, cb = 0, cc = 0, total = 0;
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  do {
+    const serve::ServerStats st = server.stats();
+    ca = tenant_stats(st, "a").completed;
+    cb = tenant_stats(st, "b").completed;
+    cc = tenant_stats(st, "c").completed;
+    total = ca + cb + cc;
+    if (total >= 105) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  } while (std::chrono::steady_clock::now() < poll_deadline);
+  ASSERT_GE(total, 105u) << "server never reached the snapshot point";
+  if (total > 3 * kPerTenant - 6) {
+    // The run drained before a mid-flight snapshot could be taken (extreme
+    // scheduling starvation of the polling thread); shares at full drain
+    // are trivially 1/3 each and say nothing about fairness.
+    GTEST_SKIP() << "machine too slow to observe a saturated snapshot";
+  }
+  const double share_a = static_cast<double>(ca) / static_cast<double>(total);
+  const double share_b = static_cast<double>(cb) / static_cast<double>(total);
+  const double share_c = static_cast<double>(cc) / static_cast<double>(total);
+  EXPECT_NEAR(share_a, 1.0 / 7.0, 0.1);
+  EXPECT_NEAR(share_b, 2.0 / 7.0, 0.1);
+  EXPECT_NEAR(share_c, 4.0 / 7.0, 0.1);
+
+  for (auto& t : tickets) (void)t.wait();
+  server.drain();
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(3 * kPerTenant));
+  for (const char* t : {"a", "b", "c"}) {
+    const TenantStats& ts = tenant_stats(st, t);
+    EXPECT_EQ(ts.completed, static_cast<std::uint64_t>(kPerTenant));
+    EXPECT_EQ(ts.completed + ts.failed, ts.submitted) << t;
+  }
+}
+
+TEST(TenantServerTest, MisbehavingTenantCannotStarveOthers) {
+  serve::ModelRegistry registry;
+  registry.put("m", tiny_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::ServeOptions so;
+  so.engines = 1;
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, hw, so);
+  TenantConfig greedy_cfg;
+  greedy_cfg.weight = 1;
+  greedy_cfg.max_queue = 4;  // quota: the blast radius of the flood
+  server.register_tenant("greedy", greedy_cfg);
+  TenantConfig polite_cfg;
+  polite_cfg.weight = 1;
+  polite_cfg.max_queue = 16;
+  server.register_tenant("polite", polite_cfg);
+
+  faults::FaultConfig fc;
+  fc.seed = 7;
+  fc.rules.push_back({"serve.server.dispatch", {}, 1.0, /*stall_ms=*/3.0});
+  faults::ScopedFaults chaos(fc);
+
+  // The misbehaving tenant: a tight submit loop mixing hopeless deadlines
+  // with a queue flood. try_submit never blocks, so the loop only ever
+  // burns its own quota.
+  std::vector<serve::Ticket> greedy_tickets;
+  std::uint64_t greedy_rejections = 0;
+  const auto in = data::random_stream({1, 8, 8, 4}, 0.1, 900);
+  for (int i = 0; i < 200; ++i) {
+    serve::RequestOptions ro;
+    ro.tenant = "greedy";
+    if (i % 2 == 0)
+      ro.deadline = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1);  // dead on arrival
+    if (auto t = server.try_submit("m", in, ro))
+      greedy_tickets.push_back(std::move(*t));
+    else
+      ++greedy_rejections;
+  }
+  // The polite tenant's traffic rides through unharmed.
+  std::vector<serve::Ticket> polite_tickets;
+  for (int i = 0; i < 6; ++i) {
+    serve::RequestOptions ro;
+    ro.tenant = "polite";
+    polite_tickets.push_back(server.submit(
+        "m", data::random_stream({1, 8, 8, 4}, 0.1, 950 + i), ro));
+  }
+  for (auto& t : polite_tickets) EXPECT_GT(t.wait().cycles, 0u);
+  server.drain();
+
+  const serve::ServerStats st = server.stats();
+  const TenantStats& polite = tenant_stats(st, "polite");
+  EXPECT_EQ(polite.completed, 6u);
+  EXPECT_EQ(polite.failed, 0u);
+  const TenantStats& greedy = tenant_stats(st, "greedy");
+  EXPECT_GT(greedy_rejections, 0u);
+  EXPECT_EQ(greedy.rejected, greedy_rejections);
+  EXPECT_GT(greedy.shed, 0u);  // the dead-on-arrival half
+  // Per-tenant drain invariant: everything admitted was answered.
+  EXPECT_EQ(greedy.completed + greedy.failed, greedy.submitted);
+  EXPECT_EQ(st.completed + st.failed, st.submitted);
+}
+
+TEST(TenantServerTest, SchedulingNeverChangesResults) {
+  serve::ModelRegistry registry;
+  registry.put("m", three_layer_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+
+  std::vector<event::EventStream> inputs;
+  for (std::uint64_t s = 0; s < 6; ++s)
+    inputs.push_back(data::random_stream({1, 16, 16, 10}, 0.08, 500 + s));
+  ecnn::BatchOptions bo;
+  bo.memory_words = 1u << 20;
+  ecnn::BatchRunner batch(hw, *registry.get("m"), bo);
+  std::vector<NetworkRunStats> ref;
+  for (const auto& in : inputs) ref.push_back(batch.run_one(in));
+
+  serve::ServeOptions so;
+  so.engines = 2;
+  so.memory_words = 1u << 20;
+  so.warm_weights = false;  // strict tier: bitwise against the cold reference
+  serve::InferenceServer server(registry, hw, so);
+  TenantConfig heavy;
+  heavy.weight = 4;
+  server.register_tenant("heavy", heavy);
+  TenantConfig light;
+  light.weight = 1;
+  server.register_tenant("light", light);
+
+  // Interleave tenants and priorities; whatever the scheduler decides,
+  // input i's result must equal the serial reference bitwise.
+  std::vector<serve::Ticket> tickets(inputs.size());
+  for (std::size_t i = inputs.size(); i-- > 0;) {
+    serve::RequestOptions ro;
+    ro.tenant = (i % 3 == 0) ? serve::kDefaultTenant
+                             : (i % 3 == 1 ? "heavy" : "light");
+    ro.priority = static_cast<int>(i % 2);
+    tickets[i] = server.submit("m", inputs[i], ro);
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    expect_equivalent(ref[i], tickets[i].wait());
+  server.drain();
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.completed, inputs.size());
+  for (const TenantStats& t : st.tenants)
+    EXPECT_EQ(t.completed + t.failed, t.submitted) << t.name;
+}
+
+TEST(TenantServerTest, UnknownTenantIsAConfigError) {
+  serve::ModelRegistry registry;
+  registry.put("m", tiny_net());
+  serve::ServeOptions so;
+  so.engines = 1;
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, SneConfig::paper_design_point(2),
+                                so);
+  serve::RequestOptions ro;
+  ro.tenant = "ghost";
+  EXPECT_THROW(
+      server.submit("m", data::random_stream({1, 8, 8, 4}, 0.1, 1), ro),
+      ConfigError);
+}
+
+// --- circuit breaker ---------------------------------------------------------
+
+TEST(TenantServerTest, BreakerTripsProbesAndRecoversDeterministically) {
+  serve::ModelRegistry registry;
+  registry.put("m", tiny_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::ServeOptions so;
+  so.engines = 1;       // serialize dispatch: the event order is the test
+  so.retry_budget = 0;  // every injected fault fails its ticket
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, hw, so);
+  TenantConfig frail;
+  frail.breaker_failure_threshold = 3;
+  frail.breaker_probe_interval = 4;
+  server.register_tenant("frail", frail);
+
+  const auto in = data::random_stream({1, 8, 8, 4}, 0.1, 77);
+  serve::RequestOptions ro;
+  ro.tenant = "frail";
+  const auto submit_and_wait = [&]() -> const char* {
+    try {
+      (void)server.submit("m", in, ro).wait();
+      return "ok";
+    } catch (const faults::FaultError&) {
+      return "fault";
+    } catch (const serve::TenantOverload&) {
+      return "reject-fast";
+    }
+  };
+
+  {
+    faults::FaultConfig fc;
+    fc.seed = 3;
+    fc.rules.push_back({"serve.server.dispatch", {}, 1.0, 0.0});
+    faults::ScopedFaults storm(fc);
+    // Three consecutive dispatch failures trip the breaker...
+    for (int i = 0; i < 3; ++i) EXPECT_STREQ(submit_and_wait(), "fault");
+    // ...now open: attempts 1-3 of the probe cadence reject fast...
+    for (int i = 0; i < 3; ++i) EXPECT_STREQ(submit_and_wait(), "reject-fast");
+    // ...attempt 4 probes, the storm fails it, the breaker re-opens...
+    EXPECT_STREQ(submit_and_wait(), "fault");
+    // ...and the cadence restarts.
+    for (int i = 0; i < 3; ++i) EXPECT_STREQ(submit_and_wait(), "reject-fast");
+  }
+  // Storm over: the next probe succeeds and closes the breaker for good.
+  EXPECT_STREQ(submit_and_wait(), "ok");
+  EXPECT_STREQ(submit_and_wait(), "ok");
+
+  const serve::ServerStats st = server.stats();
+  const TenantStats& ts = tenant_stats(st, "frail");
+  EXPECT_EQ(ts.breaker_trips, 1u);   // kClosed -> kOpen exactly once
+  EXPECT_EQ(ts.breaker_probes, 2u);  // failed probe + successful probe
+  EXPECT_EQ(ts.breaker_rejected, 6u);
+  EXPECT_EQ(ts.breaker, serve::BreakerState::kClosed);
+  EXPECT_EQ(ts.submitted, 6u);  // 3 failures + 2 probes + 1 closed-state run
+  EXPECT_EQ(ts.completed, 2u);
+  EXPECT_EQ(ts.failed, 4u);
+  EXPECT_EQ(ts.completed + ts.failed, ts.submitted);
+  EXPECT_EQ(st.breaker_rejected, 6u);
+}
+
+// --- streaming sessions ------------------------------------------------------
+
+ecnn::EnginePoolOptions session_pool_opts() {
+  ecnn::EnginePoolOptions po;
+  po.memory_words = 1u << 20;
+  return po;
+}
+
+TEST(SessionTest, ChunkedRunMatchesOneShotFunctionally) {
+  const QuantizedNetwork net = pipeline_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  const auto full = data::random_stream({1, 16, 16, 12}, 0.08, 123);
+
+  // One-shot pipeline reference over the concatenated stream.
+  SneEngine engine(hw, 1u << 20);
+  const auto geom = ecnn::build_pipeline(engine, net, 12);
+  core::RunOptions ropts;
+  ropts.out_geometry = geom;
+  ropts.out_geometry.timesteps = 12;
+  const core::RunResult ref = engine.run(
+      full.with_control_events(event::FirePolicy::kActiveStepsOnly).to_beats(),
+      ropts);
+
+  // The same stream fed as three 4-timestep chunks through a session.
+  ecnn::EnginePool pool(hw, 0, session_pool_opts());
+  serve::SessionOptions sopts;
+  sopts.horizon_timesteps = 12;
+  serve::StreamingSession session(
+      pool, std::make_shared<const QuantizedNetwork>(net), sopts);
+  std::vector<std::tuple<int, int, int, int>> chunked;
+  for (auto& chunk : split_chunks(full, 4)) {
+    const NetworkRunStats r = session.feed(std::move(chunk)).wait();
+    const auto spikes = spike_set(r.final_output);
+    chunked.insert(chunked.end(), spikes.begin(), spikes.end());
+  }
+  std::sort(chunked.begin(), chunked.end());
+  // Membrane integration carries across chunk boundaries: the union of the
+  // chunk outputs is the one-shot spike set, event for event.
+  EXPECT_EQ(chunked, spike_set(ref.output));
+  session.close();
+  const serve::SessionStats st = session.stats();
+  EXPECT_EQ(st.chunks_completed, 3u);
+  EXPECT_EQ(st.timesteps_consumed, 12u);
+  EXPECT_TRUE(st.closed);
+}
+
+TEST(SessionTest, ChunkedReplayIsBitwiseAcrossSessions) {
+  const QuantizedNetwork net = pipeline_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  const auto full = data::random_stream({1, 16, 16, 12}, 0.1, 321);
+  const auto model = std::make_shared<const QuantizedNetwork>(net);
+
+  // Session A on a fresh pool.
+  std::vector<NetworkRunStats> a;
+  {
+    ecnn::EnginePool pool(hw, 0, session_pool_opts());
+    serve::SessionOptions sopts;
+    sopts.horizon_timesteps = 16;
+    serve::StreamingSession s(pool, model, sopts);
+    for (auto& chunk : split_chunks(full, 4))
+      a.push_back(s.feed(std::move(chunk)).wait());
+  }
+  // Session B on a pool whose engine served unrelated traffic first.
+  std::vector<NetworkRunStats> b;
+  {
+    ecnn::EnginePool pool(hw, 0, session_pool_opts());
+    {
+      auto lease = pool.acquire();
+      (void)lease.runner().run(three_layer_net(),
+                               data::random_stream({1, 16, 16, 6}, 0.1, 5));
+    }
+    serve::SessionOptions sopts;
+    sopts.horizon_timesteps = 16;
+    serve::StreamingSession s(pool, model, sopts);
+    for (auto& chunk : split_chunks(full, 4))
+      b.push_back(s.feed(std::move(chunk)).wait());
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_equivalent(a[i], b[i]);
+}
+
+TEST(SessionTest, RespawnLosesOnlyTheInflightChunk) {
+  const QuantizedNetwork net = pipeline_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  const auto full = data::random_stream({1, 16, 16, 12}, 0.1, 456);
+  const auto model = std::make_shared<const QuantizedNetwork>(net);
+  auto chunks = split_chunks(full, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+
+  // Reference session: fed chunks 0 and 2 only (chunk 1 never happened).
+  std::vector<NetworkRunStats> ref;
+  {
+    ecnn::EnginePool pool(hw, 0, session_pool_opts());
+    serve::SessionOptions sopts;
+    sopts.horizon_timesteps = 12;
+    serve::StreamingSession s(pool, model, sopts);
+    ref.push_back(s.feed(chunks[0]).wait());
+    ref.push_back(s.feed(chunks[2]).wait());
+  }
+
+  // Victim session: chunk 1's dispatch is killed by an injected fault. The
+  // session quarantines its engine, respawns, restores the snapshot — and
+  // chunks 0/2 come out bitwise identical to the undisturbed reference.
+  ecnn::EnginePool pool(hw, 0, session_pool_opts());
+  serve::SessionOptions sopts;
+  sopts.horizon_timesteps = 12;
+  serve::StreamingSession s(pool, model, sopts);
+
+  const NetworkRunStats r0 = s.feed(chunks[0]).wait();
+  {
+    faults::FaultConfig fc;
+    fc.seed = 9;
+    fc.rules.push_back({"serve.session.chunk", {1}, 0.0, 0.0});
+    faults::ScopedFaults chaos(fc);
+    try {
+      (void)s.feed(chunks[1]).wait();
+      FAIL() << "chunk 1 should have failed";
+    } catch (const serve::ChunkError& e) {
+      // Diagnosable: names the failed timestep range and the rollback point.
+      EXPECT_NE(std::string(e.what()).find("[4, 8)"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("rolled back to timestep 4"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  const NetworkRunStats r2 = s.feed(chunks[2]).wait();
+  expect_equivalent(ref[0], r0);
+  expect_equivalent(ref[1], r2);
+
+  s.close();
+  const serve::SessionStats st = s.stats();
+  EXPECT_EQ(st.chunks_completed, 2u);
+  EXPECT_EQ(st.chunks_failed, 1u);
+  EXPECT_EQ(st.respawns, 1u);
+  EXPECT_EQ(st.timesteps_consumed, 8u);
+  const ecnn::EnginePool::Stats ps = pool.stats();
+  EXPECT_EQ(ps.quarantined, 1u);  // the poisoned engine was discarded
+}
+
+TEST(SessionTest, HeartbeatTimeoutExpiresIdleSessions) {
+  const QuantizedNetwork net = pipeline_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  ecnn::EnginePool pool(hw, 0, session_pool_opts());
+  serve::SessionOptions sopts;
+  sopts.horizon_timesteps = 12;
+  sopts.heartbeat_timeout_ms = 80.0;
+  serve::StreamingSession s(
+      pool, std::make_shared<const QuantizedNetwork>(net), sopts);
+
+  const auto full = data::random_stream({1, 16, 16, 4}, 0.1, 99);
+  EXPECT_GT(s.feed(full).wait().cycles, 0u);
+  // Heartbeats keep it alive past several timeout windows...
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    s.heartbeat();
+  }
+  EXPECT_FALSE(s.closed());
+  // ...then silence expires it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!s.closed() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(s.closed());
+  EXPECT_TRUE(s.stats().expired);
+  EXPECT_THROW(s.feed(data::random_stream({1, 16, 16, 4}, 0.1, 100)),
+               serve::SessionClosed);
+  EXPECT_THROW(s.heartbeat(), serve::SessionClosed);
+}
+
+TEST(SessionTest, HorizonExhaustionIsDiagnosable) {
+  const QuantizedNetwork net = pipeline_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  ecnn::EnginePool pool(hw, 0, session_pool_opts());
+  serve::SessionOptions sopts;
+  sopts.horizon_timesteps = 8;
+  serve::StreamingSession s(
+      pool, std::make_shared<const QuantizedNetwork>(net), sopts);
+  const auto chunk = data::random_stream({1, 16, 16, 4}, 0.1, 11);
+  EXPECT_GT(s.feed(chunk).wait().cycles, 0u);
+  EXPECT_GT(s.feed(chunk).wait().cycles, 0u);
+  // The session clock is spent; the chunk fails, the session survives.
+  EXPECT_THROW(s.feed(chunk).wait(), serve::ChunkError);
+  EXPECT_FALSE(s.closed());
+  EXPECT_EQ(s.stats().timesteps_consumed, 8u);
+}
+
+TEST(SessionTest, RejectsNondeterministicStallRng) {
+  const QuantizedNetwork net = pipeline_net();
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  ecnn::EnginePoolOptions po = session_pool_opts();
+  po.mem_timing.stall_probability = 0.05;
+  po.mem_timing.rng_streams = false;  // whole-engine RNG: not respawnable
+  ecnn::EnginePool pool(hw, 0, po);
+  serve::SessionOptions sopts;
+  EXPECT_THROW(serve::StreamingSession(
+                   pool, std::make_shared<const QuantizedNetwork>(net), sopts),
+               ConfigError);
+}
+
+// --- server-managed sessions -------------------------------------------------
+
+TEST(TenantServerTest, SessionQuotaAndEviction) {
+  serve::ModelRegistry registry;
+  registry.put("p", pipeline_net());
+  const SneConfig hw = SneConfig::paper_design_point(2);
+  serve::ServeOptions so;
+  so.engines = 2;
+  so.memory_words = 1u << 20;
+  serve::InferenceServer server(registry, hw, so);
+  TenantConfig cfg;
+  cfg.max_sessions = 1;
+  server.register_tenant("streamer", cfg);
+
+  serve::SessionOptions sopts;
+  sopts.tenant = "streamer";
+  sopts.horizon_timesteps = 12;
+  auto session = server.open_session("p", sopts);
+  EXPECT_THROW(server.open_session("p", sopts), serve::TenantOverload);
+  EXPECT_THROW(
+      server.open_session("nope", serve::SessionOptions{}), ConfigError);
+  {
+    serve::SessionOptions ghost;
+    ghost.tenant = "ghost";
+    EXPECT_THROW(server.open_session("p", ghost), ConfigError);
+  }
+
+  const auto chunk = data::random_stream({1, 16, 16, 4}, 0.1, 66);
+  EXPECT_GT(session->feed(chunk).wait().cycles, 0u);
+
+  // Eviction closes the tenant's sessions and refuses its future traffic.
+  server.evict_tenant("streamer");
+  EXPECT_TRUE(session->closed());
+  EXPECT_THROW(session->feed(chunk), serve::SessionClosed);
+  serve::RequestOptions ro;
+  ro.tenant = "streamer";
+  EXPECT_THROW(server.submit("p", chunk, ro), ConfigError);
+  EXPECT_THROW(server.evict_tenant("streamer"), ConfigError);  // gone
+  EXPECT_THROW(server.evict_tenant(serve::kDefaultTenant), ConfigError);
+
+  const serve::ServerStats st = server.stats();
+  const TenantStats& ts = tenant_stats(st, "streamer");
+  EXPECT_EQ(ts.sessions_opened, 1u);
+  EXPECT_EQ(ts.sessions_closed, 1u);
+  EXPECT_EQ(ts.chunks_completed, 1u);
+  // The freed quota slot is not reusable — the tenant itself is gone.
+  serve::SessionOptions again;
+  again.tenant = "streamer";
+  EXPECT_THROW(server.open_session("p", again), ConfigError);
+}
+
+}  // namespace
+}  // namespace sne
