@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <optional>
+#include <string>
 
 #include "common/fault_injection.h"
 #include "core/engine.h"
@@ -15,6 +18,10 @@
 #include "ecnn/mapper.h"
 #include "ecnn/runner.h"
 #include "event/event.h"
+#include "obs/adapters.h"
+#include "obs/metrics.h"
+#include "obs/run_profile.h"
+#include "obs/trace.h"
 #include "serve/pipeline.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -23,6 +30,24 @@
 namespace {
 
 using namespace sne;
+
+// Attaches a RunProfile's per-mode cycle split as plain bench counters so
+// BENCH_simthroughput.json records *where* the drain engine spends its
+// simulated cycles, not just how fast it retires them.
+// scripts/check_perf.py renders these as a warn-only mode-split table.
+void attach_profile_counters(benchmark::State& state,
+                             const obs::RunProfile& p) {
+  const auto c = [](std::uint64_t v) {
+    return benchmark::Counter(static_cast<double>(v));
+  };
+  state.counters["prof_dead_jump"] = c(p.dead_jump_cycles);
+  state.counters["prof_sweep_jump"] = c(p.sweep_jump_cycles);
+  state.counters["prof_percycle"] = c(p.percycle_cycles);
+  state.counters["prof_burst"] = c(p.burst_cycles);
+  state.counters["prof_bulk_replay"] = c(p.bulk_replay_cycles);
+  state.counters["prof_steady"] = c(p.steady_cycles);
+  state.counters["prof_drain_spans"] = c(p.drain_spans);
+}
 
 ecnn::QuantizedLayerSpec bench_layer() {
   ecnn::QuantizedLayerSpec l;
@@ -185,6 +210,21 @@ void BM_DenseSpikingLayer(benchmark::State& state) {
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["out_events_per_s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
+  // One profiled repeat outside the timed loop: the mode split documents
+  // which drain machine earned the throughput above (bitwise-identical
+  // results with profiling on, so the run is interchangeable with a timed
+  // one — see tests/test_obs.cpp).
+  {
+    obs::ScopedProfiling profiling;
+    const auto r = engine.run(program, opts);
+    attach_profile_counters(state, r.profile);
+    obs::publish_run_profile(
+        obs::MetricsRegistry::instance(), r.profile,
+        {{"bench", "dense"},
+         {"args", std::to_string(state.range(0)) + "/" +
+                      std::to_string(state.range(1)) + "/" +
+                      std::to_string(state.range(2))}});
+  }
 }
 BENCHMARK(BM_DenseSpikingLayer)
     ->Args({8, 2, 1})->Args({8, 1, 1})->Args({8, 0, 1})
@@ -252,6 +292,16 @@ void BM_DenseSpikingLayerPipeRouted(benchmark::State& state) {
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["out_events_per_s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
+  // Untimed profiled repeat — same rationale as BM_DenseSpikingLayer.
+  {
+    obs::ScopedProfiling profiling;
+    const auto r = engine.run(program, opts);
+    attach_profile_counters(state, r.profile);
+    obs::publish_run_profile(
+        obs::MetricsRegistry::instance(), r.profile,
+        {{"bench", "pipe_routed"},
+         {"args", std::to_string(state.range(0))}});
+  }
 }
 BENCHMARK(BM_DenseSpikingLayerPipeRouted)
     ->Arg(2)->Arg(1)->Arg(0)
@@ -366,6 +416,14 @@ void BM_ServeThroughput(benchmark::State& state) {
   const auto engines = static_cast<unsigned>(state.range(0));
   const auto mode = static_cast<int>(state.range(1));
   const bool wload = mode >= 3 && mode <= 5;
+  const std::string mode_label = mode == 0   ? "fresh-construct"
+                                 : mode == 1 ? "pooled-reuse"
+                                 : mode == 2 ? "pipelined"
+                                 : mode == 3 ? "wload-cold-pooled"
+                                 : mode == 4 ? "wload-warm-pooled"
+                                 : mode == 5 ? "wload-warm-pipelined"
+                                 : mode == 6 ? "chaos-retry-shed"
+                                             : "multi-tenant-skew";
   ecnn::QuantizedNetwork net;
   if (wload) {
     // 16 input channels x 16 resident output channels per slice at kernel 5
@@ -511,18 +569,19 @@ void BM_ServeThroughput(benchmark::State& state) {
       requests += tickets.size();
       benchmark::DoNotOptimize(tickets.size());
     }
+    // Publish the final server snapshot (headline, per-tenant ledgers,
+    // engine-pool roll-up) and the fault injector's per-site counters into
+    // the process registry. Untimed; the SNE_OBS_PROM / SNE_OBS_METRICS_JSON
+    // exports in main() scrape whatever accumulated here.
+    const obs::Labels base{{"bench", "serve"}, {"mode", mode_label}};
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    obs::publish_server_stats(reg, server.stats(), base);
+    obs::publish_fault_stats(reg, base);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(requests));
   state.counters["sim_cycles_per_s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
-  state.SetLabel(mode == 0   ? "mode=fresh-construct"
-                 : mode == 1 ? "mode=pooled-reuse"
-                 : mode == 2 ? "mode=pipelined"
-                 : mode == 3 ? "mode=wload-cold-pooled"
-                 : mode == 4 ? "mode=wload-warm-pooled"
-                 : mode == 5 ? "mode=wload-warm-pipelined"
-                 : mode == 6 ? "mode=chaos-retry-shed"
-                             : "mode=multi-tenant-skew");
+  state.SetLabel("mode=" + mode_label);
 }
 BENCHMARK(BM_ServeThroughput)
     ->Args({1, 0})->Args({1, 1})
@@ -554,6 +613,27 @@ BENCHMARK(BM_GestureGeneration)->Unit(benchmark::kMillisecond);
 // libbenchmark-dev is a debug build), which says nothing about sne_core;
 // scripts/check_perf.py and the committed-baseline policy key off this field
 // instead.
+//
+// Telemetry export, all default-off (the timed loops never touch the
+// registry; spans cost one disarmed atomic load each):
+//   SNE_OBS_TRACE=<path>         arm the span tracer for the whole run and
+//                                write Chrome trace-event JSON at exit
+//                                (open in ui.perfetto.dev)
+//   SNE_OBS_PROM=<path>          write the metrics registry as Prometheus
+//                                text exposition at exit
+//   SNE_OBS_METRICS_JSON=<path>  write the registry's JSON snapshot at exit
+// scripts/check_obs.py validates all three in CI.
+namespace {
+const char* obs_env(const char* key) {
+  const char* v = std::getenv(key);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+void obs_dump(const char* path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  out << body;
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   benchmark::AddCustomContext("sne_build_type",
 #ifdef NDEBUG
@@ -562,9 +642,19 @@ int main(int argc, char** argv) {
                               "debug"
 #endif
   );
+  if (obs_env("SNE_OBS_TRACE") != nullptr) sne::obs::Tracer::instance().arm();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  if (const char* path = obs_env("SNE_OBS_TRACE")) {
+    sne::obs::Tracer& tracer = sne::obs::Tracer::instance();
+    tracer.disarm();
+    obs_dump(path, tracer.chrome_trace_json());
+  }
+  if (const char* path = obs_env("SNE_OBS_PROM"))
+    obs_dump(path, sne::obs::MetricsRegistry::instance().prometheus_text());
+  if (const char* path = obs_env("SNE_OBS_METRICS_JSON"))
+    obs_dump(path, sne::obs::MetricsRegistry::instance().json_snapshot());
   benchmark::Shutdown();
   return 0;
 }

@@ -173,6 +173,40 @@ def main():
             r = "-" if ratio is None else f"{ratio:.2f}x"
             lines.append(f"| `{name}` | {fmt(b)} | {fmt(c)} | {r} |")
 
+    # Replay-profile mode split (current run only, warn-only): the drain
+    # benches attach prof_* counters from one profiled, untimed repeat —
+    # where the batched drain engine actually spends its simulated cycles.
+    # Informational: cycle attribution is bit-deterministic, so drift here
+    # means the workload or the engine changed, not the host.
+    prof_keys = [("prof_dead_jump", "dead-jump"),
+                 ("prof_sweep_jump", "sweep-jump"),
+                 ("prof_percycle", "per-cycle"),
+                 ("prof_burst", "burst"),
+                 ("prof_bulk_replay", "bulk-replay"),
+                 ("prof_steady", "steady")]
+    prof_rows = []
+    for b in current.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        total = sum(float(b.get(k, 0.0)) for k, _ in prof_keys)
+        if total <= 0:
+            continue
+        prof_rows.append((b["name"], total,
+                          [float(b.get(k, 0.0)) / total for k, _ in prof_keys],
+                          int(b.get("prof_drain_spans", 0))))
+    if prof_rows:
+        lines.append("")
+        lines.append("### Replay-profile mode split (current run, "
+                     "informational)")
+        lines.append("")
+        lines.append("| benchmark | cycles | " +
+                     " | ".join(label for _, label in prof_keys) +
+                     " | drain spans |")
+        lines.append("|---|---:|" + "---:|" * len(prof_keys) + "---:|")
+        for name, total, split, spans in prof_rows:
+            cells = " | ".join(f"{frac * 100:.1f}%" for frac in split)
+            lines.append(f"| `{name}` | {int(total)} | {cells} | {spans} |")
+
     table = "\n".join(lines)
 
     print(table)

@@ -141,6 +141,23 @@ class FaultInjector {
     return it == sites_.end() ? 0 : it->second.fired;
   }
 
+  /// Snapshot of every site touched since the last arm(), in name order —
+  /// the metrics adapter (obs/adapters.h) publishes these as per-site
+  /// counter series.
+  struct SiteStats {
+    std::string site;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+  std::vector<SiteStats> site_stats() const {
+    std::lock_guard<std::mutex> lk(m_);
+    std::vector<SiteStats> out;
+    out.reserve(sites_.size());
+    for (const auto& [site, st] : sites_)
+      out.push_back(SiteStats{site, st.hits, st.fired});
+    return out;
+  }
+
   /// The seeded per-hit coin in [0, 1): pure function of its arguments, so
   /// a fired hit set reproduces from the seed alone.
   static double coin(std::uint64_t seed, const char* site, std::uint64_t n) {

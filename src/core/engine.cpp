@@ -106,6 +106,20 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
                        out_region_words_);
 
   hwsim::ActivityCounters c;
+  // Replay profiling (one relaxed atomic load when disarmed — the whole
+  // disarmed cost of this run). The profile only *records* where cycles go;
+  // no simulated state reads it back, so results are bitwise identical
+  // with profiling on or off.
+  obs::RunProfile profile;
+  prof_ = obs::profiling_enabled() ? &profile : nullptr;
+  if (prof_) {
+    profile.runs = 1;
+    profile.slice_busy.assign(slices_.size(), 0);
+  }
+  struct ProfScope {  // never leave prof_ dangling past this frame
+    obs::RunProfile*& slot;
+    ~ProfScope() { slot = nullptr; }
+  } prof_scope{prof_};
   const bool fast = cfg_.fast_forward;
   const bool drain_fast = fast && cfg_.drain_batching;
   ScanState s = scan_state();
@@ -135,6 +149,16 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
         // the cycle/idle counters reproduced here.
         const std::uint64_t jump = std::min(d - 1, opts.max_cycles - c.cycles);
         c.cycles += jump;
+        if (prof_) {
+          // A busy jump spans a TDM sweep countdown; an idle one a dead span.
+          if (s.any_slice_busy) {
+            prof_->sweep_jump_cycles += jump;
+            for (std::size_t i = 0; i < slices_.size(); ++i)
+              if (slices_[i].busy()) prof_->slice_busy[i] += jump;
+          } else {
+            prof_->dead_jump_cycles += jump;
+          }
+        }
         if (!s.any_slice_busy) c.idle_cycles += jump;
         in_dma_.skip_cycles(jump);
         for (auto& sl : slices_) sl.skip_cycles(jump);
@@ -144,6 +168,11 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
     tick(c);
     c.cycles++;
     s = scan_state();
+    if (prof_) {
+      prof_->percycle_cycles++;
+      for (std::size_t i = 0; i < slices_.size(); ++i)
+        if (slices_[i].busy()) prof_->slice_busy[i]++;
+    }
     if (!s.any_slice_busy) c.idle_cycles++;
   }
 
@@ -151,6 +180,7 @@ SneEngine::RunResult SneEngine::run(const std::vector<event::Beat>& program,
   r.counters = c;
   r.cycles = c.cycles;
   r.sim_time_us = static_cast<double>(c.cycles) * cfg_.cycle_ns() * 1e-3;
+  if (prof_) r.profile = std::move(profile);
   if (opts.materialize_output) {
     std::vector<event::Beat> beats;
     for (std::uint32_t i = 0; i < out_dmas_.size(); ++i) {
@@ -372,11 +402,20 @@ std::uint64_t SneEngine::drain_burst(hwsim::ActivityCounters& c,
     c.cycles++;
     ++done;
     bool any_busy = false;
-    for (const auto& sl : slices_)
-      if (sl.busy()) {
-        any_busy = true;
-        break;
-      }
+    if (prof_) {
+      prof_->burst_cycles++;
+      for (std::size_t i = 0; i < slices_.size(); ++i)
+        if (slices_[i].busy()) {
+          any_busy = true;
+          prof_->slice_busy[i]++;
+        }
+    } else {
+      for (const auto& sl : slices_)
+        if (sl.busy()) {
+          any_busy = true;
+          break;
+        }
+    }
     if (!any_busy) c.idle_cycles++;
   }
 }
@@ -413,6 +452,7 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
   std::array<std::uint8_t, 64> part_of{};  // slice index -> participant + 1
   std::uint64_t request = 0;               // slices with a nonempty out FIFO
   bool inert_busy = false;                 // a busy non-participant slice
+  std::uint64_t inert_busy_mask = 0;       // same slices, for the profiler
   for (std::uint32_t i = 0; i < slices_.size(); ++i) {
     const Slice& sl = slices_[i];
     if (!sl.configured()) continue;
@@ -424,7 +464,10 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
         if (sl.countdown() <= 1) return 0;
         limit = std::min(limit, sl.countdown() - 1);
         part = events;
-        if (!part) inert_busy = true;  // skip_cycles() handles the countdown
+        if (!part) {
+          inert_busy = true;  // skip_cycles() handles the countdown
+          inert_busy_mask |= 1ull << i;
+        }
       } else {
         part = true;  // resumes FIRE/DRAIN in-span
       }
@@ -527,13 +570,17 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
     if (steady_ready) {
       std::uint64_t rounds = kNeverActive;  // per-member grant allowance
       std::uint32_t busy_members = 0;
+      std::uint64_t busy_member_mask = 0;
       std::uint64_t stall_members = 0;  // bitmask of parked FIRE slices
       std::uint64_t drain_members = 0;  // bitmask of busy drain/fire members
       bool steady = true;
       for (std::size_t k = 0; k < n_parts && steady; ++k) {
         const auto& rep = drain_parts_[k].replay;
         const std::uint64_t bit = 1ull << drain_parts_[k].slice;
-        if (rep.busy()) ++busy_members;
+        if (rep.busy()) {
+          ++busy_members;
+          busy_member_mask |= bit;
+        }
         if (rep.vcountdown > 0) {
           steady = false;
         } else if (!(request & bit)) {
@@ -658,6 +705,15 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
           c.slice_busy_cycles +=
               cycles * static_cast<std::uint64_t>(std::popcount(drain_members));
           if (busy_members == 0 && !inert_busy) idle_count += cycles;
+          if (prof_) {
+            prof_->steady_cycles += cycles;
+            // Members busy at the eligibility scan stay busy for the whole
+            // block (their state machines are frozen); inert slices are
+            // charged once for the full span at commit.
+            for (std::uint64_t m = busy_member_mask; m != 0; m &= m - 1)
+              prof_->slice_busy[static_cast<std::size_t>(
+                  std::countr_zero(m))] += cycles;
+          }
           span += cycles;
           continue;
         }
@@ -722,9 +778,13 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
         }
       }
       if (rep.out_count > 0) request |= 1ull << p.slice;
-      if (rep.busy()) any_busy = true;
+      if (rep.busy()) {
+        any_busy = true;
+        if (prof_) prof_->slice_busy[p.slice]++;
+      }
     }
     if (!any_busy) ++idle_count;
+    if (prof_) prof_->bulk_replay_cycles++;
     ++span;
   }
   if (span == 0) return 0;
@@ -758,6 +818,13 @@ std::uint64_t SneEngine::drain_bulk_span(hwsim::ActivityCounters& c,
   c.xbar_beats += grants;
   c.cycles += span;
   c.idle_cycles += idle_count;
+  if (prof_) {
+    prof_->note_span(span);
+    // Inert busy slices (countdowns ridden by skip_cycles) were busy for
+    // every cycle of the span, steady blocks and replayed cycles alike.
+    for (std::uint64_t m = inert_busy_mask; m != 0; m &= m - 1)
+      prof_->slice_busy[static_cast<std::size_t>(std::countr_zero(m))] += span;
+  }
   return span;
 }
 

@@ -24,6 +24,7 @@
 #include "hwsim/arbiter.h"
 #include "hwsim/counters.h"
 #include "hwsim/memory.h"
+#include "obs/run_profile.h"
 
 namespace sne::core {
 
@@ -42,6 +43,10 @@ struct RunResult {
   hwsim::ActivityCounters counters;  ///< activity delta of this run
   std::uint64_t cycles = 0;          ///< clock cycles of this run
   double sim_time_us = 0.0;          ///< cycles at the configured clock
+  /// Cycle attribution by engine mode; filled only while
+  /// obs::profiling_enabled() (empty() otherwise). Purely observational:
+  /// output, counters and cycles are bitwise identical either way.
+  obs::RunProfile profile;
 
   /// Output spikes only (UPDATE events, markers stripped).
   event::EventStream spikes() const {
@@ -280,6 +285,10 @@ class SneEngine {
   };
   std::vector<DrainParticipant> drain_parts_;
   std::vector<DmaReplay> drain_dmas_;
+
+  /// Points at the active run's profile while obs::profiling_enabled(),
+  /// else null; the drain engine attributes its cycles through it.
+  obs::RunProfile* prof_ = nullptr;
 };
 
 }  // namespace sne::core

@@ -44,6 +44,7 @@
 #include "core/engine.h"
 #include "ecnn/runner.h"
 #include "hwsim/memory.h"
+#include "obs/trace.h"
 
 namespace sne::ecnn {
 
@@ -131,6 +132,7 @@ class EnginePool {
   /// so one hot model does not evict another's resident weights when a
   /// blank engine is available.
   Lease acquire(std::uint64_t model_tag = 0) {
+    obs::ScopedSpan span("ecnn.pool.lease", model_tag);
     return Lease(this, acquire_entry(model_tag), model_tag);
   }
 

@@ -6,6 +6,7 @@
 #include "common/contracts.h"
 #include "common/fault_injection.h"
 #include "common/fnv.h"
+#include "obs/trace.h"
 
 namespace sne::ecnn {
 
@@ -94,6 +95,7 @@ NetworkRunStats NetworkRunner::run(const QuantizedNetwork& net,
     stats.programming_cycles += stats.layers.back().programming_cycles;
     stats.passes_total += stats.layers.back().passes_total;
     stats.passes_warm += stats.layers.back().passes_warm;
+    stats.profile += stats.layers.back().profile;
   }
   stats.final_output = stats.layers.back().output;
   return stats;
@@ -104,6 +106,7 @@ LayerRunStats NetworkRunner::run_layer(const QuantizedLayerSpec& layer,
                                        event::FirePolicy policy,
                                        std::uint64_t model_fp,
                                        std::size_t layer_index) {
+  obs::ScopedSpan layer_span("ecnn.layer", layer_index);
   check_warm_preconditions(model_fp);
   const std::uint16_t T = input.geometry().timesteps;
   LayerPlan local_plan;
@@ -139,9 +142,12 @@ LayerRunStats NetworkRunner::run_layer(const QuantizedLayerSpec& layer,
               : pass_residency_tag(model_fp, T, layer_index, ri, pi);
       if (engine_->warm_rewind_slice(pass.slice_id, tag)) {
         ++stats.passes_warm;
+        obs::trace_instant("ecnn.warm_skip", pass.slice_id);
       } else {
+        obs::ScopedSpan program_span("ecnn.program", pass.slice_id);
         engine_->configure_slice(pass.slice_id, pass.cfg);
-        program_weights(pass, stats.programming, stats.programming_cycles);
+        program_weights(pass, stats.programming, stats.programming_cycles,
+                        &stats.profile);
         if (tag != 0) engine_->tag_resident_pass(pass.slice_id, tag);
       }
       active.push_back(pass.slice_id);
@@ -156,9 +162,11 @@ LayerRunStats NetworkRunner::run_layer(const QuantizedLayerSpec& layer,
 
     core::RunOptions opts;
     opts.out_geometry = plan.out_geometry;
+    obs::ScopedSpan sim_span("ecnn.simulate", layer_index);
     const core::RunResult r = engine_->run(input, opts, policy);
     stats.counters += r.counters;
     stats.cycles += r.cycles;
+    stats.profile += r.profile;
 
     for (const event::Event& e : r.output.events())
       if (e.op == event::Op::kUpdate) stats.output.push(e);
@@ -172,6 +180,10 @@ LayerRunStats NetworkRunner::run_layer(const QuantizedLayerSpec& layer,
 
   stats.output.normalize();
   stats.output_events = stats.output.update_count();
+  if (!stats.profile.empty()) {
+    stats.profile.passes_total = stats.passes_total;
+    stats.profile.passes_warm = stats.passes_warm;
+  }
   return stats;
 }
 
@@ -234,7 +246,8 @@ void NetworkRunner::check_warm_preconditions(std::uint64_t model_fp) const {
 
 void NetworkRunner::program_weights(const SlicePass& pass,
                                     hwsim::ActivityCounters& agg,
-                                    std::uint64_t& cycles) {
+                                    std::uint64_t& cycles,
+                                    obs::RunProfile* prof) {
   // Chaos registration point: a programming failure mid-request is the
   // canonical "engine state now unknown" fault the quarantine+retry story
   // is built around (tests/test_faults.cpp).
@@ -270,6 +283,7 @@ void NetworkRunner::program_weights(const SlicePass& pass,
   const core::RunResult r = engine_->run(beats);
   agg += r.counters;
   cycles += r.cycles;
+  if (prof) *prof += r.profile;
 }
 
 }  // namespace sne::ecnn

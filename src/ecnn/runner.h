@@ -44,6 +44,9 @@ struct LayerRunStats {
   std::size_t rounds = 0;
   std::size_t passes_total = 0;  ///< slice passes over all rounds
   std::size_t passes_warm = 0;   ///< of which skipped via weight residency
+  /// Replay mode split over every engine run of the layer (WLOAD programming
+  /// included); empty unless obs::profiling_enabled() during the run.
+  obs::RunProfile profile;
 };
 
 struct NetworkRunStats {
@@ -54,6 +57,7 @@ struct NetworkRunStats {
   std::uint64_t programming_cycles = 0;
   std::size_t passes_total = 0;
   std::size_t passes_warm = 0;
+  obs::RunProfile profile;  ///< sum of the layers' profiles
   event::EventStream final_output;
 
   std::size_t total_input_events() const {
@@ -153,8 +157,10 @@ class NetworkRunner {
 
  private:
   /// Installs one pass's weights, either over the stream or host-side.
+  /// `prof` (optional) folds in the WLOAD run's replay profile.
   void program_weights(const SlicePass& pass, hwsim::ActivityCounters& agg,
-                       std::uint64_t& cycles);
+                       std::uint64_t& cycles,
+                       obs::RunProfile* prof = nullptr);
 
   /// Rejects warm mode in the one configuration whose programming phase is
   /// entangled with the input run (streamed WLOAD under randomized memory

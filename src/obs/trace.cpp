@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sne::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::arm(Config cfg) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (cfg.ring_capacity == 0) cfg.ring_capacity = 1;
+  cfg_ = cfg;
+  rings_.clear();
+  next_tid_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  // Bump the epoch *before* enabling: a racing recorder either sees the old
+  // epoch (and registers a ring we just cleared — it re-registers on its
+  // next record) or the new one with a fresh ring; never a stale ring.
+  arm_epoch_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disarm() { enabled_.store(false, std::memory_order_release); }
+
+Tracer::ThreadRing& Tracer::local_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring;
+  thread_local std::uint64_t ring_epoch = ~std::uint64_t{0};
+  const std::uint64_t e = arm_epoch_.load(std::memory_order_acquire);
+  if (!ring || ring_epoch != e) {
+    std::lock_guard<std::mutex> lk(m_);
+    ring = std::make_shared<ThreadRing>(cfg_.ring_capacity, next_tid_++);
+    rings_.push_back(ring);
+    ring_epoch = e;
+  }
+  return *ring;
+}
+
+void Tracer::record(const char* name, std::uint64_t corr, std::uint64_t arg,
+                    std::uint64_t t0_ns, std::uint64_t t1_ns, char phase) {
+  if (!enabled()) return;
+  ThreadRing& r = local_ring();
+  std::lock_guard<std::mutex> lk(r.m);
+  ThreadRing::Rec& rec = r.spans[r.count % r.spans.size()];
+  rec.name = name;
+  rec.corr = corr;
+  rec.arg = arg;
+  rec.t0 = t0_ns;
+  rec.t1 = t1_ns;
+  rec.phase = phase;
+  ++r.count;
+}
+
+std::vector<Tracer::CollectedSpan> Tracer::collect() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    rings = rings_;
+  }
+  std::vector<CollectedSpan> out;
+  for (const auto& r : rings) {
+    std::lock_guard<std::mutex> lk(r->m);
+    const std::size_t cap = r->spans.size();
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(r->count, cap));
+    const std::size_t first = r->count > cap
+                                  ? static_cast<std::size_t>(r->count % cap)
+                                  : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const ThreadRing::Rec& rec = r->spans[(first + i) % cap];
+      CollectedSpan s;
+      s.name = rec.name;
+      s.id = span_id(rec.name, rec.corr, rec.arg);
+      s.corr = rec.corr;
+      s.arg = rec.arg;
+      s.t0_ns = rec.t0;
+      s.t1_ns = rec.t1;
+      s.tid = r->tid;
+      s.phase = rec.phase;
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CollectedSpan& a, const CollectedSpan& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+              return a.t1_ns > b.t1_ns;  // parents before children
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    rings = rings_;
+  }
+  std::uint64_t n = 0;
+  for (const auto& r : rings) {
+    std::lock_guard<std::mutex> lk(r->m);
+    if (r->count > r->spans.size()) n += r->count - r->spans.size();
+  }
+  return n;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<CollectedSpan> spans = collect();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const CollectedSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    // ts/dur in microseconds with ns precision; ids as hex strings (JSON
+    // numbers lose 64-bit precision).
+    if (s.phase == 'i') {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"sne\",\"ph\":\"i\",\"s\":\"t\","
+                    "\"ts\":%.3f,\"pid\":1,\"tid\":%u",
+                    s.name.c_str(), static_cast<double>(s.t0_ns) / 1e3, s.tid);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"cat\":\"sne\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                    s.name.c_str(), static_cast<double>(s.t0_ns) / 1e3,
+                    static_cast<double>(s.t1_ns - s.t0_ns) / 1e3, s.tid);
+    }
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  ",\"args\":{\"span_id\":\"0x%016" PRIx64
+                  "\",\"corr\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
+                  s.id, s.corr, s.arg);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sne::obs

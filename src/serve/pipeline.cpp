@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "common/fault_injection.h"
+#include "obs/trace.h"
 
 namespace sne::serve {
 
@@ -137,6 +138,11 @@ void PipelineDeployment::stage_loop(std::size_t s) {
     const auto popped = queues_[s]->pop_for(tick, job);
     if (popped == BoundedQueue<JobPtr>::PopStatus::kTimeout) continue;
     if (popped == BoundedQueue<JobPtr>::PopStatus::kClosed) break;
+    // One span per stage hop, correlated by the job's ticket: the stream
+    // queue wait, then the stage's own work (layer spans nest underneath).
+    obs::ScopedCorr corr(job->ticket->id);
+    obs::trace_span_since("serve.stage.queue", job->stage_enqueued_at, s);
+    obs::ScopedSpan stage_span("serve.stage", s);
     // Watchdog: judge stream-queue wait before spending engine time on a
     // job nobody upstream could serve in budget (a stalled stage sheds its
     // backlog with diagnosable errors instead of clogging the pipe).

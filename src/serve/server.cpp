@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault_injection.h"
+#include "obs/trace.h"
 
 namespace sne::serve {
 
@@ -203,6 +204,8 @@ Ticket InferenceServer::submit(const std::string& model,
                                RequestOptions ropts) {
   Request req = make_request(model, std::move(input), ropts);
   const Ticket ticket{req.ticket};
+  obs::ScopedCorr corr(req.ticket->id);
+  obs::ScopedSpan span("serve.submit", obs::trace_key(ropts.tenant));
   // Admission chaos site: a FaultError here models a crash in the front
   // door itself — nothing counted, nothing queued, the exception reaches
   // the caller.
@@ -278,6 +281,8 @@ std::optional<Ticket> InferenceServer::try_submit(const std::string& model,
                                                   RequestOptions ropts) {
   Request req = make_request(model, std::move(input), ropts);
   const Ticket ticket{req.ticket};
+  obs::ScopedCorr corr(req.ticket->id);
+  obs::ScopedSpan span("serve.submit", obs::trace_key(ropts.tenant));
   faults::check("serve.server.admit");
   if (shed_if_expired(req)) return ticket;
   {
@@ -361,6 +366,15 @@ void InferenceServer::worker_loop() {
 
 void InferenceServer::process(Request& req, const std::string& tenant,
                               bool probe) {
+  // Request lifecycle spans, all correlated by the ticket id: the queue wait
+  // (submit -> this DRR grant), then one span over dispatch + simulation +
+  // settling, with the engine-side spans (pool lease, layer program/warm
+  // skip, simulate) nesting underneath via the ambient correlation.
+  obs::ScopedCorr corr(req.ticket->id);
+  obs::trace_span_since("serve.queue", req.submitted_at,
+                        obs::trace_key(tenant));
+  obs::ScopedSpan req_span("serve.request", obs::trace_key(tenant));
+  obs::trace_instant("serve.dispatch", obs::trace_key(tenant));
   ecnn::NetworkRunStats result;
   std::exception_ptr error;
   bool deadline_expired = false;
@@ -440,6 +454,7 @@ void InferenceServer::process(Request& req, const std::string& tenant,
   // Settle the tenant's ledger (and its breaker) before answering the
   // ticket, so a waiter observes its own completion in stats(). Queue
   // expiries are breaker-neutral: they say nothing about backend health.
+  obs::ScopedSpan settle_span("serve.settle", obs::trace_key(tenant));
   FairScheduler<Request>::DoneRecord dr;
   dr.probe = probe;
   dr.latency_ms = lat_ms;

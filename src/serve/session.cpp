@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "ecnn/runner.h"
+#include "obs/trace.h"
 
 namespace sne::serve {
 
@@ -194,6 +195,11 @@ void StreamingSession::ensure_engine() {
 }
 
 void StreamingSession::run_chunk(ChunkJob& job) {
+  // Chunk span correlated by the chunk's ticket id; the queue wait since
+  // feed() and the engine run nest under the session's worker thread.
+  obs::ScopedCorr obs_corr(job.ticket->id);
+  obs::trace_span_since("serve.chunk.queue", job.submitted_at, t_base_);
+  obs::ScopedSpan chunk_span("serve.chunk", t_base_);
   const std::uint16_t chunk_t = job.input.geometry().timesteps;
   const std::uint16_t t0 = t_base_;
   const auto fail_chunk = [&](std::exception_ptr e) {
@@ -239,6 +245,7 @@ void StreamingSession::run_chunk(ChunkJob& job) {
     core::RunOptions ro;
     ro.out_geometry = out_geom_;
     ro.out_geometry.timesteps = abs_geom.timesteps;
+    obs::ScopedSpan sim_span("ecnn.simulate", t0);
     core::RunResult r = lease_->engine().run(abs.to_beats(), ro);
     result.cycles = r.cycles;
     result.total = r.counters;
