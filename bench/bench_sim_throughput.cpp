@@ -4,11 +4,13 @@
 // using this repository (simulated cycles per host-second).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/fault_injection.h"
 #include "core/engine.h"
@@ -18,6 +20,9 @@
 #include "ecnn/mapper.h"
 #include "ecnn/runner.h"
 #include "event/event.h"
+#include "event/event_io.h"
+#include "net/client.h"
+#include "net/gateway.h"
 #include "obs/adapters.h"
 #include "obs/metrics.h"
 #include "obs/run_profile.h"
@@ -412,6 +417,15 @@ BENCHMARK(BM_TrainerEpoch)
 //       (FairScheduler: DRR dispatch, per-tenant ledgers, breaker gates on
 //       every admission) against mode 6's single-FIFO chaos baseline and
 //       mode 1's clean one.
+//
+// Network gateway mode (mode 7's workload over real sockets):
+//   8 = gateway-loopback: the same four Zipf-weighted tenants, skewed mix
+//       and seeded 8% dispatch chaos as mode 7, but every request travels
+//       through the HTTP gateway on 127.0.0.1 — one keep-alive client
+//       thread per tenant, bodies SNE1-encoded on the wire, cycles read
+//       back from the X-Sne-Cycles response header. The 8-vs-7 wall-clock
+//       gap prices the whole front door: parsing, auth, socket hops and
+//       the IO thread/worker handoff.
 void BM_ServeThroughput(benchmark::State& state) {
   const auto engines = static_cast<unsigned>(state.range(0));
   const auto mode = static_cast<int>(state.range(1));
@@ -423,7 +437,8 @@ void BM_ServeThroughput(benchmark::State& state) {
                                  : mode == 4 ? "wload-warm-pooled"
                                  : mode == 5 ? "wload-warm-pipelined"
                                  : mode == 6 ? "chaos-retry-shed"
-                                             : "multi-tenant-skew";
+                                 : mode == 7 ? "multi-tenant-skew"
+                                             : "gateway-loopback";
   ecnn::QuantizedNetwork net;
   if (wload) {
     // 16 input channels x 16 resident output channels per slice at kernel 5
@@ -532,19 +547,76 @@ void BM_ServeThroughput(benchmark::State& state) {
     static constexpr unsigned kTenantOf[12] = {0, 0, 0, 0, 0, 0,
                                                1, 1, 1, 2, 2, 3};
     static const std::string kTenantName[4] = {"t0", "t1", "t2", "t3"};
-    if (mode == 7)
+    if (mode == 7 || mode == 8)
       for (unsigned ti = 0; ti < 4; ++ti) {
         serve::TenantConfig tc;
         tc.weight = 8u >> ti;  // 8, 4, 2, 1
         server.register_tenant(kTenantName[ti], tc);
       }
     std::optional<faults::ScopedFaults> chaos;
-    if (mode == 6 || mode == 7) {
+    if (mode >= 6) {
       faults::FaultConfig cfg;
       cfg.seed = 2026;
       cfg.rules.push_back(
           faults::FaultRule{"serve.server.dispatch", {}, 0.08, 0.0});
       chaos.emplace(std::move(cfg));
+    }
+    if (mode == 8) {
+      net::GatewayConfig gcfg;
+      for (unsigned ti = 0; ti < 4; ++ti)
+        gcfg.bearer_tokens["tok-" + kTenantName[ti]] = kTenantName[ti];
+      net::GatewayServer gateway(server, gcfg);
+      std::vector<std::string> bodies;
+      for (const auto& in : inputs) bodies.push_back(event::encode_stream(in));
+      for (auto _ : state) {
+        std::atomic<std::uint64_t> iter_cycles{0};
+        std::vector<std::thread> drivers;
+        for (unsigned ti = 0; ti < 4; ++ti) {
+          drivers.emplace_back([&, ti] {
+            // One keep-alive connection per tenant; its requests serialize
+            // on it like a real client's would. The gateway closes the
+            // connection after a 500 (a chaos failure that outran the retry
+            // budget), so the driver reconnects like a real client — at most
+            // one fresh attempt per request.
+            std::optional<net::HttpClient> c;
+            c.emplace("127.0.0.1", gateway.port());
+            const std::vector<std::pair<std::string, std::string>> auth = {
+                {"Authorization", "Bearer tok-" + kTenantName[ti]}};
+            for (std::size_t i = 0; i < bodies.size(); ++i) {
+              if (kTenantOf[i] != ti) continue;
+              for (int attempt = 0; attempt < 2; ++attempt) {
+                try {
+                  const net::ClientResponse r = c->request(
+                      "POST", "/v1/infer?model=m", auth, bodies[i]);
+                  const std::string* cyc = r.header("x-sne-cycles");
+                  // Chaos answers (a 500 whose injected failure outran the
+                  // retry budget) carry no cycle header and count no work.
+                  if (r.status == 200 && cyc != nullptr)
+                    iter_cycles.fetch_add(
+                        std::strtoull(cyc->c_str(), nullptr, 10));
+                  break;
+                } catch (const net::NetError&) {
+                  c.emplace("127.0.0.1", gateway.port());
+                }
+              }
+            }
+          });
+        }
+        for (auto& d : drivers) d.join();
+        cycles += iter_cycles.load();
+        requests += inputs.size();
+        benchmark::DoNotOptimize(requests);
+      }
+      const obs::Labels base{{"bench", "serve"}, {"mode", mode_label}};
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+      obs::publish_server_stats(reg, server.stats(), base);
+      obs::publish_fault_stats(reg, base);
+      obs::publish_gateway_stats(reg, gateway.stats(), base);
+      state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+      state.counters["sim_cycles_per_s"] = benchmark::Counter(
+          static_cast<double>(cycles), benchmark::Counter::kIsRate);
+      state.SetLabel("mode=" + mode_label);
+      return;
     }
     std::vector<serve::Ticket> tickets;
     for (auto _ : state) {
@@ -591,7 +663,7 @@ BENCHMARK(BM_ServeThroughput)
     // the honest arg is 1 — a multi-stage warm-pipeline datapoint needs a
     // multi-layer wload workload first.
     ->Args({1, 3})->Args({1, 4})->Args({2, 3})->Args({2, 4})->Args({1, 5})
-    ->Args({2, 6})->Args({2, 7})
+    ->Args({2, 6})->Args({2, 7})->Args({2, 8})
     ->UseRealTime()  // dispatch workers shift work off the timing thread
     ->Unit(benchmark::kMillisecond);
 

@@ -26,6 +26,11 @@ Validates whatever exports are passed (at least one required):
              and the fault-site counters (sne_fault_site_hits_total{site=...})
              the serve benches publish.
 
+  --gateway  Change --prom's required-series set to a live gateway scrape
+             (GET /metrics): sne_gateway_* connection/request/session
+             families plus the server roll-up, without the profile-mode
+             series only the drain benches publish.
+
   --metrics  Registry JSON snapshot written by SNE_OBS_METRICS_JSON:
              well-formed JSON with the documented {"metrics":[...]} shape.
 
@@ -117,7 +122,29 @@ SAMPLE_RE = re.compile(
     r' (-?[0-9][0-9.e+-]*|[+-]Inf|NaN)$')    # value
 
 
-def check_prom(path, errors):
+# What a scrape must contain, by origin. The bench export carries the
+# profile-mode split (drain benches); a live gateway scrape instead carries
+# the sne_gateway_* families the front door publishes per request.
+PROM_REQUIRED_BENCH = (
+    r'^sne_tenant_[a-z_]+\{[^}]*tenant="',
+    r'^sne_fault_site_hits_total\{[^}]*site="',
+    r'^sne_server_submitted_total',
+    r'^sne_profile_mode_cycles_total\{[^}]*mode="',
+)
+PROM_REQUIRED_GATEWAY = (
+    r'^sne_tenant_[a-z_]+\{[^}]*tenant="',
+    r'^sne_server_submitted_total',
+    r'^sne_gateway_connections_accepted_total',
+    r'^sne_gateway_connections_open',
+    r'^sne_gateway_requests_total',
+    r'^sne_gateway_responses_total\{[^}]*class="2xx"',
+    r'^sne_gateway_bytes_in_total',
+    r'^sne_gateway_bytes_out_total',
+    r'^sne_gateway_sessions_opened_total',
+)
+
+
+def check_prom(path, errors, required=PROM_REQUIRED_BENCH):
     try:
         with open(path) as f:
             text = f.read()
@@ -160,13 +187,10 @@ def check_prom(path, errors):
                               f"line {ln}: {line}")
             bucket_prev[key] = cum
 
-    for required in (r'^sne_tenant_[a-z_]+\{[^}]*tenant="',
-                     r'^sne_fault_site_hits_total\{[^}]*site="',
-                     r'^sne_server_submitted_total',
-                     r'^sne_profile_mode_cycles_total\{[^}]*mode="'):
-        if not re.search(required, text, re.MULTILINE):
-            errors.append(f"prom: required series /{required}/ missing — "
-                          "the serve/drain benches did not publish")
+    for pattern in required:
+        if not re.search(pattern, text, re.MULTILINE):
+            errors.append(f"prom: required series /{pattern}/ missing — "
+                          "the expected publisher did not run")
     print(f"prom: {samples} samples across {len(typed)} typed families")
 
 
@@ -208,6 +232,8 @@ def main():
     ap.add_argument("--trace")
     ap.add_argument("--prom")
     ap.add_argument("--metrics")
+    ap.add_argument("--gateway", action="store_true",
+                    help="--prom input is a live gateway /metrics scrape")
     args = ap.parse_args()
     if not (args.trace or args.prom or args.metrics):
         ap.error("pass at least one of --trace/--prom/--metrics")
@@ -216,7 +242,9 @@ def main():
     if args.trace:
         check_trace(args.trace, errors)
     if args.prom:
-        check_prom(args.prom, errors)
+        check_prom(args.prom, errors,
+                   PROM_REQUIRED_GATEWAY if args.gateway
+                   else PROM_REQUIRED_BENCH)
     if args.metrics:
         check_metrics_json(args.metrics, errors)
 

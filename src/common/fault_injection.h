@@ -20,6 +20,12 @@
 //   serve.session.chunk      StreamingSession chunk dispatch, before the
 //                            engine run (fails the in-flight chunk; the
 //                            session respawns and continues)
+//   net.accept               GatewayServer accept, after the kernel accept
+//                            (the new connection is torn down immediately)
+//   net.conn.read            gateway connection read (a torn read fails
+//                            exactly that connection)
+//   net.conn.write           gateway connection write (a torn response; the
+//                            server-side request still completes and counts)
 //
 // A disarmed injector costs one relaxed atomic load per site hit — the
 // serving fast path never takes a lock or hashes anything unless a chaos

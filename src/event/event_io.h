@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -63,6 +64,56 @@ inline EventStream load_stream(const std::string& path) {
   for (std::uint32_t i = 0; i < count; ++i) beats.push_back(get());
   if (f.peek() != std::ifstream::traits_type::eof())
     throw ConfigError("trailing bytes after stream in " + path);
+  return EventStream::from_beats(beats, g);
+}
+
+/// In-memory SNE1 encoding — byte-identical to what save_stream writes.
+/// The gateway's wire format: an HTTP request/response body carrying an
+/// event stream is exactly one encoded SNE1 blob.
+inline std::string encode_stream(const EventStream& s) {
+  std::string out;
+  const auto put = [&out](std::uint32_t v) {
+    char w[sizeof v];
+    std::memcpy(w, &v, sizeof v);
+    out.append(w, sizeof v);
+  };
+  const auto& g = s.geometry();
+  put(kStreamFileMagic);
+  put(g.channels);
+  put(g.width);
+  put(g.height);
+  put(g.timesteps);
+  const auto beats = s.to_beats();
+  put(static_cast<std::uint32_t>(beats.size()));
+  for (Beat b : beats) put(b);
+  return out;
+}
+
+/// Decodes an SNE1 blob produced by encode_stream/save_stream, with the same
+/// strictness as load_stream: truncation and trailing bytes both throw
+/// ConfigError (`what` names the failing input, e.g. "request body"), so a
+/// torn or padded network body never silently yields a partial stream.
+inline EventStream decode_stream(const char* data, std::size_t n,
+                                 const std::string& what = "stream blob") {
+  std::size_t off = 0;
+  const auto get = [&]() {
+    std::uint32_t v = 0;
+    if (off + sizeof v > n) throw ConfigError("truncated " + what);
+    std::memcpy(&v, data + off, sizeof v);
+    off += sizeof v;
+    return v;
+  };
+  if (get() != kStreamFileMagic) throw ConfigError("bad magic in " + what);
+  StreamGeometry g;
+  g.channels = static_cast<std::uint16_t>(get());
+  g.width = static_cast<std::uint8_t>(get());
+  g.height = static_cast<std::uint8_t>(get());
+  g.timesteps = static_cast<std::uint16_t>(get());
+  const std::uint32_t count = get();
+  std::vector<Beat> beats;
+  beats.reserve(std::min<std::uint32_t>(count, 1u << 20));
+  for (std::uint32_t i = 0; i < count; ++i) beats.push_back(get());
+  if (off != n) throw ConfigError("trailing bytes after " + what);
   return EventStream::from_beats(beats, g);
 }
 

@@ -1,0 +1,364 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sne::net {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+/// RFC 7230 token characters (method and header-name alphabet).
+bool is_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (const unsigned char c : s) {
+    if (c <= ' ' || c >= 127) return false;
+    if (std::string("()<>@,;:\\\"/[]?={}").find(static_cast<char>(c)) !=
+        std::string::npos)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name_lower) const {
+  for (const auto& [k, v] : headers)
+    if (k == name_lower) return &v;
+  return nullptr;
+}
+
+std::optional<std::string> HttpRequest::query_param(
+    const std::string& key) const {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key)
+      return pair.substr(eq + 1);
+    if (eq == std::string::npos && pair == key) return std::string();
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+void HttpParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+}
+
+void HttpParser::reset() {
+  state_ = State::kRequestLine;
+  req_ = HttpRequest{};
+  error_status_ = 0;
+  error_reason_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  trailer_bytes_ = 0;
+}
+
+HttpParser::Status HttpParser::feed(const char* data, std::size_t n) {
+  if (state_ == State::kDone) return Status::kDone;
+  if (state_ == State::kError) return Status::kError;
+  if (n > 0) buf_.append(data, n);
+  return run();
+}
+
+bool HttpParser::take_line(std::string& line, std::size_t cap,
+                          int overrun_status, const char* overrun_reason) {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) {
+    if (buf_.size() > cap) fail(overrun_status, overrun_reason);
+    return false;
+  }
+  if (nl > cap) {
+    fail(overrun_status, overrun_reason);
+    return false;
+  }
+  line = buf_.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  buf_.erase(0, nl + 1);
+  return true;
+}
+
+bool HttpParser::parse_request_line(const std::string& line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  req_.method = line.substr(0, sp1);
+  req_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (!is_token(req_.method) || req_.target.empty() ||
+      req_.target.find(' ') != std::string::npos) {
+    fail(400, "malformed request line");
+    return false;
+  }
+  if (version == "HTTP/1.1") {
+    req_.minor_version = 1;
+    req_.keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    req_.minor_version = 0;
+    req_.keep_alive = false;
+  } else {
+    fail(400, "unsupported HTTP version");
+    return false;
+  }
+  const std::size_t q = req_.target.find('?');
+  req_.path = req_.target.substr(0, q);
+  req_.query = q == std::string::npos ? "" : req_.target.substr(q + 1);
+  for (const unsigned char c : req_.target)
+    if (c < ' ' || c == 127) {
+      fail(400, "control bytes in request target");
+      return false;
+    }
+  return true;
+}
+
+bool HttpParser::parse_header_line(const std::string& line) {
+  if (line[0] == ' ' || line[0] == '\t') {
+    fail(400, "obsolete header folding");
+    return false;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    fail(400, "malformed header line");
+    return false;
+  }
+  std::string name = line.substr(0, colon);
+  if (!is_token(name)) {
+    fail(400, "malformed header name");
+    return false;
+  }
+  if (req_.headers.size() >= limits_.max_headers) {
+    fail(431, "too many header fields");
+    return false;
+  }
+  std::string value = strip(line.substr(colon + 1));
+  for (const unsigned char c : value)
+    if ((c < ' ' && c != '\t') || c == 127) {
+      fail(400, "control bytes in header value");
+      return false;
+    }
+  req_.headers.emplace_back(to_lower(std::move(name)), std::move(value));
+  return true;
+}
+
+bool HttpParser::finish_headers() {
+  if (const std::string* conn = req_.header("connection")) {
+    const std::string v = to_lower(*conn);
+    if (v.find("close") != std::string::npos) req_.keep_alive = false;
+    else if (v.find("keep-alive") != std::string::npos) req_.keep_alive = true;
+  }
+  const std::string* cl = req_.header("content-length");
+  const std::string* te = req_.header("transfer-encoding");
+  if (cl != nullptr && te != nullptr) {
+    fail(400, "both Content-Length and Transfer-Encoding");
+    return false;
+  }
+  if (te != nullptr) {
+    if (to_lower(strip(*te)) != "chunked") {
+      fail(400, "unsupported transfer-encoding");
+      return false;
+    }
+    req_.chunked = true;
+    state_ = State::kChunkSize;
+    return true;
+  }
+  if (cl != nullptr) {
+    const std::string v = strip(*cl);
+    if (v.empty() || v.size() > 19 ||
+        !std::all_of(v.begin(), v.end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      fail(400, "malformed Content-Length");
+      return false;
+    }
+    const unsigned long long len = std::stoull(v);
+    if (len > limits_.max_body_bytes) {
+      fail(413, "request body exceeds the gateway limit");
+      return false;
+    }
+    body_expected_ = static_cast<std::size_t>(len);
+    state_ = body_expected_ == 0 ? State::kDone : State::kBody;
+    return true;
+  }
+  state_ = State::kDone;
+  return true;
+}
+
+HttpParser::Status HttpParser::run() {
+  std::string line;
+  for (;;) {
+    switch (state_) {
+      case State::kRequestLine: {
+        // Tolerate the optional CRLF some clients send between pipelined
+        // requests (RFC 7230 3.5) by skipping leading empty lines.
+        while (!buf_.empty() && (buf_[0] == '\r' || buf_[0] == '\n'))
+          buf_.erase(0, buf_[0] == '\r' && buf_.size() > 1 && buf_[1] == '\n'
+                            ? 2
+                            : 1);
+        if (!take_line(line, limits_.max_request_line, 431,
+                       "request line too long"))
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        if (line.empty()) continue;
+        if (!parse_request_line(line)) return Status::kError;
+        state_ = State::kHeaders;
+        break;
+      }
+      case State::kHeaders: {
+        const std::size_t before = buf_.size();
+        if (!take_line(line, limits_.max_header_bytes - header_bytes_, 431,
+                       "header section too large"))
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        header_bytes_ += before - buf_.size();
+        if (header_bytes_ > limits_.max_header_bytes) {
+          fail(431, "header section too large");
+          return Status::kError;
+        }
+        if (line.empty()) {
+          if (!finish_headers()) return Status::kError;
+          break;
+        }
+        if (!parse_header_line(line)) return Status::kError;
+        break;
+      }
+      case State::kBody: {
+        const std::size_t take = std::min(body_expected_, buf_.size());
+        req_.body.append(buf_, 0, take);
+        buf_.erase(0, take);
+        body_expected_ -= take;
+        if (body_expected_ > 0) return Status::kNeedMore;
+        state_ = State::kDone;
+        break;
+      }
+      case State::kChunkSize: {
+        if (!take_line(line, 1024, 400, "chunk-size line too long"))
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        // Strip any chunk extension (";ext=...") before parsing the hex size.
+        const std::size_t semi = line.find(';');
+        const std::string hex = strip(semi == std::string::npos
+                                          ? line
+                                          : line.substr(0, semi));
+        if (hex.empty() || hex.size() > 8 ||
+            !std::all_of(hex.begin(), hex.end(), [](unsigned char c) {
+              return std::isxdigit(c);
+            })) {
+          fail(400, "malformed chunk size");
+          return Status::kError;
+        }
+        const std::size_t sz =
+            static_cast<std::size_t>(std::stoull(hex, nullptr, 16));
+        if (req_.body.size() + sz > limits_.max_body_bytes) {
+          fail(413, "chunked request body exceeds the gateway limit");
+          return Status::kError;
+        }
+        if (sz == 0) {
+          state_ = State::kTrailer;
+          break;
+        }
+        body_expected_ = sz;
+        state_ = State::kChunkData;
+        break;
+      }
+      case State::kChunkData: {
+        const std::size_t take = std::min(body_expected_, buf_.size());
+        req_.body.append(buf_, 0, take);
+        buf_.erase(0, take);
+        body_expected_ -= take;
+        if (body_expected_ > 0) return Status::kNeedMore;
+        state_ = State::kChunkDataEnd;
+        break;
+      }
+      case State::kChunkDataEnd: {
+        if (!take_line(line, 2, 400, "missing CRLF after chunk"))
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        if (!line.empty()) {
+          fail(400, "missing CRLF after chunk");
+          return Status::kError;
+        }
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kTrailer: {
+        const std::size_t before = buf_.size();
+        if (!take_line(line, limits_.max_header_bytes - trailer_bytes_, 431,
+                       "trailer section too large"))
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        trailer_bytes_ += before - buf_.size();
+        if (line.empty()) {
+          state_ = State::kDone;
+          break;
+        }
+        break;  // trailer fields are tolerated and discarded
+      }
+      case State::kDone:
+        return Status::kDone;
+      case State::kError:
+        return Status::kError;
+    }
+  }
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 410: return "Gone";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    reason_phrase(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += std::string("Connection: ") + (r.close ? "close" : "keep-alive") +
+         "\r\n";
+  for (const auto& [k, v] : r.headers) out += k + ": " + v + "\r\n";
+  out += "\r\n";
+  out += r.body;
+  return out;
+}
+
+HttpResponse error_response(int status, const std::string& detail) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::to_string(status) + " " + reason_phrase(status) +
+           (detail.empty() ? "" : ": " + detail) + "\n";
+  if (status == 503) r.headers.emplace_back("Retry-After", "1");
+  if (status == 401)
+    r.headers.emplace_back("WWW-Authenticate", "Bearer realm=\"sne\"");
+  return r;
+}
+
+}  // namespace sne::net

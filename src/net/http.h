@@ -1,0 +1,144 @@
+// Minimal HTTP/1.1 subset for the gateway front door (cf. distributed-llama's
+// http.cpp): request-line + headers + a body framed by Content-Length or
+// chunked transfer-encoding, parsed incrementally from whatever bytes the
+// socket delivered.
+//
+// Hardening contract (the whole point of hand-rolling this):
+//   - Every limit is enforced *while* parsing, before the offending bytes are
+//     buffered: request-line / header-section / header-count overruns answer
+//     431, announced or accumulated bodies beyond the cap answer 413, and
+//     anything structurally broken (bad version token, non-numeric
+//     Content-Length, Content-Length combined with Transfer-Encoding, a
+//     malformed chunk-size line) answers 400.
+//   - Malformed bytes never throw: feed() returns kError with the HTTP
+//     status + a one-line reason, and the connection handler decides whether
+//     a response can still be written. Arbitrary garbage is a state-machine
+//     outcome, not an exception path.
+//   - Pipelining-safe: bytes after a complete request stay buffered; reset()
+//     rearms the parser for the next request on the same connection without
+//     dropping them.
+//
+// The parser is deliberately strict about what the gateway needs and nothing
+// more: no multi-line header folding (400), no Transfer-Encoding other than
+// chunked (400), chunk-extension and trailer bytes are tolerated but
+// discarded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sne::net {
+
+/// Byte budgets enforced during parsing (GatewayConfig embeds one).
+struct HttpLimits {
+  std::size_t max_request_line = 8192;   ///< method + target + version
+  std::size_t max_header_bytes = 16384;  ///< whole header section
+  std::size_t max_headers = 64;
+  std::size_t max_body_bytes = 4u << 20;  ///< after de-chunking
+};
+
+/// One parsed request. Header names are lower-cased at parse time; values
+/// keep their bytes (leading/trailing whitespace stripped).
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< raw request target (path + optional ?query)
+  std::string path;
+  std::string query;  ///< bytes after '?', no further decoding
+  int minor_version = 1;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool chunked = false;     ///< body arrived via chunked transfer-encoding
+  bool keep_alive = true;   ///< HTTP/1.1 default unless "Connection: close"
+
+  /// First header value for `name_lower` (pass lower-case), or nullptr.
+  const std::string* header(const std::string& name_lower) const;
+  /// Value of `key` in the query string (k=v pairs split on '&'), if any.
+  std::optional<std::string> query_param(const std::string& key) const;
+};
+
+/// Incremental request parser; one instance per connection, reset() between
+/// keep-alive requests.
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits) : limits_(limits) {}
+
+  enum class Status {
+    kNeedMore,  ///< consumed everything offered; request incomplete
+    kDone,      ///< request() is complete; surplus bytes stay buffered
+    kError,     ///< protocol violation; see error_status()/error_reason()
+  };
+
+  /// Consumes up to `n` bytes. After kDone or kError the parser ignores
+  /// further feed() calls until reset().
+  Status feed(const char* data, std::size_t n);
+
+  const HttpRequest& request() const { return req_; }
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// True before any byte of the *current* request arrived — the idle
+  /// keep-alive state the reaper may close silently.
+  bool idle() const { return state_ == State::kRequestLine && buf_.empty(); }
+
+  /// Rearms for the next request on the connection, keeping buffered
+  /// pipelined bytes. Call feed(nullptr, 0) afterwards to parse them.
+  void reset();
+
+ private:
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kBody,       // Content-Length framing
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,  // CRLF after a chunk's payload
+    kTrailer,       // header lines after the last chunk, discarded
+    kDone,
+    kError,
+  };
+
+  Status run();
+  /// Extracts one line ending in LF from buf_ (CR stripped); false = need
+  /// more bytes. `cap` bounds how much may accumulate without a newline.
+  bool take_line(std::string& line, std::size_t cap, int overrun_status,
+                 const char* overrun_reason);
+  bool parse_request_line(const std::string& line);
+  bool parse_header_line(const std::string& line);
+  /// Validates the collected headers and decides the body framing.
+  bool finish_headers();
+  void fail(int status, std::string reason);
+
+  HttpLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string buf_;  ///< unconsumed input
+  HttpRequest req_;
+  int error_status_ = 0;
+  std::string error_reason_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;   ///< Content-Length / current chunk left
+  std::size_t trailer_bytes_ = 0;
+};
+
+/// Response assembled by a route handler and serialized by the gateway.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  /// Extra headers (X-Sne-*, Retry-After, WWW-Authenticate, ...).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool close = false;  ///< force Connection: close after this response
+};
+
+const char* reason_phrase(int status);
+
+/// Serializes status line + headers + Content-Length framing + body.
+std::string serialize(const HttpResponse& r);
+
+/// Shorthand for the error responses the gateway emits from many sites.
+HttpResponse error_response(int status, const std::string& detail);
+
+}  // namespace sne::net

@@ -1,0 +1,122 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault_injection.h"
+
+namespace sne::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw_errno("fcntl(O_NONBLOCK)");
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+int listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(fd);
+    throw NetError("listen_tcp: bad IPv4 address '" + host + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close_fd(fd);
+    throw_errno("bind");
+  }
+  if (::listen(fd, backlog) < 0) {
+    close_fd(fd);
+    throw_errno("listen");
+  }
+  try {
+    set_nonblocking(fd);
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw_errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+int accept_conn(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      return static_cast<int>(kAgain);
+    throw_errno("accept");
+  }
+  try {
+    faults::check("net.accept");
+    set_nonblocking(fd);
+  } catch (const faults::FaultError& e) {
+    // Injected faults surface as NetError like any real transport failure:
+    // the caller's connection-teardown path is the one under test.
+    close_fd(fd);
+    throw NetError(e.what());
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  return fd;
+}
+
+long read_some(int fd, char* buf, std::size_t n) {
+  try {
+    faults::check("net.conn.read");
+  } catch (const faults::FaultError& e) {
+    throw NetError(e.what());
+  }
+  const ssize_t got = ::read(fd, buf, n);
+  if (got >= 0) return static_cast<long>(got);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return kAgain;
+  throw_errno("read");
+}
+
+long write_some(int fd, const char* data, std::size_t n) {
+  try {
+    faults::check("net.conn.write");
+  } catch (const faults::FaultError& e) {
+    throw NetError(e.what());
+  }
+#ifdef MSG_NOSIGNAL
+  const ssize_t put = ::send(fd, data, n, MSG_NOSIGNAL);
+#else
+  const ssize_t put = ::send(fd, data, n, 0);
+#endif
+  if (put >= 0) return static_cast<long>(put);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return kAgain;
+  throw_errno("write");
+}
+
+}  // namespace sne::net

@@ -1,0 +1,66 @@
+// Thin POSIX socket wrappers for the gateway's server side.
+//
+// Two jobs: (1) fold errno handling into a single exception type (NetError)
+// so the connection handler has one failure path to harden, and (2) host the
+// gateway's three deterministic fault sites — `net.accept`, `net.conn.read`,
+// `net.conn.write` (common/fault_injection.h) — so chaos tests can tear a
+// specific accept/read/write without touching the kernel. The loopback test
+// client (net/client.h) deliberately bypasses these wrappers and talks raw
+// syscalls: client traffic must not advance the server-side fault-site hit
+// counters, or seeded hit indices would depend on client buffering.
+//
+// All wrapped fds are nonblocking; read_some/write_some report would-block
+// as kAgain instead of errno so the poll loop stays branch-simple.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sne::net {
+
+/// Socket-layer failure (syscall errno or an injected net.* fault). Always
+/// scoped to one fd; the gateway answers it by tearing down that connection.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// read_some/write_some result when the socket would block (poll again).
+inline constexpr long kAgain = -1;
+
+/// Creates a nonblocking listening TCP socket bound to host:port
+/// (SO_REUSEADDR; port 0 picks an ephemeral port — read it back with
+/// local_port). Throws NetError on any syscall failure.
+int listen_tcp(const std::string& host, std::uint16_t port, int backlog = 64);
+
+/// The port a bound socket actually listens on (resolves port 0).
+std::uint16_t local_port(int fd);
+
+/// Accepts one pending connection as a nonblocking fd, or kAgain when the
+/// backlog is empty. Fault site `net.accept` fires *after* the kernel accept
+/// so an injected failure still consumes the connection (the client observes
+/// a torn connection, not a silent hang). Throws NetError on syscall failure
+/// or injected fault.
+int accept_conn(int listen_fd);
+
+/// Reads up to `n` bytes: > 0 bytes read, 0 = orderly peer close, kAgain =
+/// would block. Fault site `net.conn.read` counts one hit per call and
+/// throws NetError when armed to fire (a torn read). Throws NetError on
+/// errno other than EAGAIN/EINTR.
+long read_some(int fd, char* buf, std::size_t n);
+
+/// Writes up to `n` bytes (SIGPIPE suppressed): >= 0 bytes written, kAgain =
+/// would block. Fault site `net.conn.write` as above (a torn write). Throws
+/// NetError on errno other than EAGAIN/EINTR (EPIPE/ECONNRESET included —
+/// the caller tears the connection down).
+long write_some(int fd, const char* data, std::size_t n);
+
+/// Marks an fd nonblocking (accept_conn does this for you). Throws NetError.
+void set_nonblocking(int fd);
+
+/// close() that swallows errors — teardown paths must not throw.
+void close_fd(int fd) noexcept;
+
+}  // namespace sne::net

@@ -218,6 +218,65 @@ void publish_activity_counters(MetricsRegistry& reg,
   for (const auto& r : rows) set_counter(reg, r.name, base, r.help, r.v);
 }
 
+void publish_gateway_stats(MetricsRegistry& reg, const net::GatewayStats& s,
+                           const Labels& base) {
+  set_counter(reg, "sne_gateway_connections_accepted_total", base,
+              "TCP connections accepted", s.connections_accepted);
+  set_gauge(reg, "sne_gateway_connections_open", base,
+            "currently open gateway connections",
+            static_cast<double>(s.connections_open));
+  set_gauge(reg, "sne_gateway_peak_connections", base,
+            "high-water open connections",
+            static_cast<double>(s.peak_connections));
+  set_counter(reg, "sne_gateway_accept_rejected_total", base,
+              "accepts answered 503 at the connection cap", s.accept_rejected);
+  set_counter(reg, "sne_gateway_accept_faults_total", base,
+              "accepts torn by a net.accept fault or syscall failure",
+              s.accept_faults);
+  set_counter(reg, "sne_gateway_requests_total", base,
+              "complete HTTP requests parsed", s.requests);
+  const char* class_help = "HTTP responses by status class";
+  const struct {
+    const char* cls;
+    std::uint64_t v;
+  } classes[] = {{"2xx", s.responses_2xx},
+                 {"3xx", s.responses_3xx},
+                 {"4xx", s.responses_4xx},
+                 {"5xx", s.responses_5xx}};
+  for (const auto& c : classes)
+    set_counter(reg, "sne_gateway_responses_total", with(base, "class", c.cls),
+                class_help, c.v);
+  set_counter(reg, "sne_gateway_bytes_in_total", base,
+              "request bytes read off sockets", s.bytes_in);
+  set_counter(reg, "sne_gateway_bytes_out_total", base,
+              "response bytes written to sockets", s.bytes_out);
+  set_counter(reg, "sne_gateway_conn_read_failures_total", base,
+              "connections torn by a failed read (net.conn.read included)",
+              s.conn_read_failures);
+  set_counter(reg, "sne_gateway_conn_write_failures_total", base,
+              "connections torn by a failed write (net.conn.write included)",
+              s.conn_write_failures);
+  set_counter(reg, "sne_gateway_read_timeouts_total", base,
+              "stalled mid-request reads answered 408", s.read_timeouts);
+  set_counter(reg, "sne_gateway_write_timeouts_total", base,
+              "clients dropped for not draining their response",
+              s.write_timeouts);
+  set_counter(reg, "sne_gateway_idle_reaped_total", base,
+              "idle keep-alive connections reaped", s.idle_reaped);
+  set_counter(reg, "sne_gateway_parse_errors_total", base,
+              "malformed or oversized requests answered 4xx", s.parse_errors);
+  set_counter(reg, "sne_gateway_sessions_opened_total", base,
+              "streaming sessions opened over HTTP", s.sessions_opened);
+  set_counter(reg, "sne_gateway_sessions_closed_total", base,
+              "sessions closed by client request", s.sessions_closed);
+  set_counter(reg, "sne_gateway_sessions_torn_down_total", base,
+              "sessions closed on connection teardown (half-close path)",
+              s.sessions_torn_down);
+  set_gauge(reg, "sne_gateway_sessions_open", base,
+            "currently open gateway sessions",
+            static_cast<double>(s.sessions_open_now));
+}
+
 void publish_run_profile(MetricsRegistry& reg, const RunProfile& p,
                          const Labels& base) {
   if (p.empty()) return;

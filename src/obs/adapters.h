@@ -18,6 +18,7 @@
 #include "common/fault_injection.h"
 #include "ecnn/engine_pool.h"
 #include "hwsim/counters.h"
+#include "net/gateway.h"
 #include "obs/metrics.h"
 #include "obs/run_profile.h"
 #include "serve/server.h"
@@ -43,6 +44,14 @@ void publish_fault_stats(MetricsRegistry& reg, const Labels& base = {});
 void publish_activity_counters(MetricsRegistry& reg,
                                const hwsim::ActivityCounters& c,
                                const Labels& base = {});
+
+/// GatewayStats as sne_gateway_*: connection lifecycle (accepted / open /
+/// peak / cap rejections), HTTP responses by status class
+/// (sne_gateway_responses_total{class="2xx"...}), bytes in/out, torn
+/// reads/writes and timeout reaps, and session lifecycle counters. The
+/// gateway's /metrics handler publishes this at scrape time.
+void publish_gateway_stats(MetricsRegistry& reg, const net::GatewayStats& s,
+                           const Labels& base = {});
 
 /// RunProfile as sne_profile_*: per-mode cycle counters
 /// (sne_profile_mode_cycles_total{mode=...}), the drain span-length log2

@@ -82,6 +82,12 @@ struct TenantConfig {
 
 enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 
+/// Three-way tenant lookup answer: the gateway needs to distinguish a name
+/// that was never registered (its 401/ConfigError path) from one that was
+/// registered and evicted (403 — the credential was valid once and the
+/// ledger survives, but admission is permanently refused).
+enum class TenantPresence : std::uint8_t { kUnknown, kActive, kEvicted };
+
 /// Answer given to traffic the overload-control policy refuses to run:
 /// breaker reject-fast, quota displacement, tenant eviction, or a session
 /// quota. Distinct from DeadlineExceeded (the *request's* budget ran out)
@@ -247,6 +253,15 @@ class FairScheduler {
     std::lock_guard<std::mutex> lk(m_);
     const auto it = tenants_.find(name);
     return it != tenants_.end() && !it->second->gone;
+  }
+
+  /// Never-registered vs active vs evicted (see TenantPresence).
+  TenantPresence presence(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) return TenantPresence::kUnknown;
+    return it->second->gone ? TenantPresence::kEvicted
+                            : TenantPresence::kActive;
   }
 
   enum class PushStatus {

@@ -137,6 +137,24 @@ std::shared_ptr<StreamingSession> InferenceServer::open_session(
   return session;
 }
 
+void InferenceServer::close_session(
+    const std::shared_ptr<StreamingSession>& session) {
+  if (session == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(sessions_m_);
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                    sessions_.end());
+  }
+  // Off the lock: close() drains queued chunks and joins the session worker,
+  // and its on_close hook takes the scheduler lock.
+  session->close();
+}
+
+TenantPresence InferenceServer::tenant_presence(const std::string& name)
+    const {
+  return sched_.presence(name);
+}
+
 InferenceServer::Request InferenceServer::make_request(
     const std::string& model, event::EventStream input,
     const RequestOptions& ropts) {

@@ -234,6 +234,19 @@ class InferenceServer {
   std::shared_ptr<StreamingSession> open_session(const std::string& model,
                                                  SessionOptions sopts = {});
 
+  /// Closes a session opened by open_session() and drops the server's
+  /// reference to it immediately. This is the half-close path for network
+  /// front ends: when a client tears its connection mid-session, the gateway
+  /// calls this instead of leaving the session to idle until heartbeat
+  /// expiry, so the engine lease and the tenant's session-quota slot free
+  /// promptly. Idempotent (closing an already-closed session is a no-op);
+  /// sessions the server doesn't know are still closed.
+  void close_session(const std::shared_ptr<StreamingSession>& session);
+
+  /// Never-registered vs active vs evicted — the gateway's 401-vs-403
+  /// distinction (has-the-name-existed is not derivable from has_tenant).
+  TenantPresence tenant_presence(const std::string& name) const;
+
   /// Blocks until every admitted request has completed.
   void drain();
 
@@ -241,6 +254,9 @@ class InferenceServer {
 
   const core::SneConfig& hw() const { return hw_; }
   const ServeOptions& options() const { return opts_; }
+  /// The borrowed model registry (route handlers resolve model names
+  /// against it for 404s before paying a submit).
+  const ModelRegistry& registry() const { return registry_; }
 
  private:
   struct Request {
