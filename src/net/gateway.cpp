@@ -73,7 +73,10 @@ struct GatewayServer::Conn {
 GatewayServer::GatewayServer(serve::InferenceServer& server, GatewayConfig cfg)
     : server_(server),
       cfg_(std::move(cfg)),
-      jobs_(cfg_.max_connections + cfg_.workers + 16) {
+      // Worst case ~2 outstanding jobs per connection (one routed request
+      // plus one close-sessions batch), so size for that: the IO thread
+      // only ever try_push()es, and headroom makes the fallback paths rare.
+      jobs_(2 * cfg_.max_connections + cfg_.workers + 16) {
   if (cfg_.workers == 0)
     throw ConfigError("GatewayConfig::workers must be at least 1");
   if (cfg_.max_connections == 0)
@@ -153,6 +156,19 @@ void GatewayServer::io_loop() {
 
   for (;;) {
     const auto now = Clock::now();
+    // Retry close-session jobs the bounded queue refused earlier. The IO
+    // thread never blocks on jobs_ — a full queue defers to this list so
+    // the event loop keeps accepting, reading, and enforcing deadlines
+    // even while every worker is parked on a slow inference ticket.
+    while (!pending_jobs_.empty()) {
+      jobs_inflight_.fetch_add(1, std::memory_order_acq_rel);
+      if (jobs_.try_push(pending_jobs_.front()) !=
+          serve::BoundedQueue<Job>::PushResult::kAccepted) {
+        jobs_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        break;
+      }
+      pending_jobs_.erase(pending_jobs_.begin());
+    }
     const bool draining = draining_.load(std::memory_order_acquire);
     if (draining) {
       if (listen_fd_ >= 0) {
@@ -171,7 +187,7 @@ void GatewayServer::io_loop() {
         for (const auto& [id, c] : conns_) all.push_back(id);
         for (const std::uint64_t id : all) teardown(id);
       }
-      if (conns_.empty() &&
+      if (conns_.empty() && pending_jobs_.empty() &&
           jobs_inflight_.load(std::memory_order_acquire) == 0)
         return;  // drained: nothing connected, nothing in flight
     }
@@ -220,7 +236,15 @@ void GatewayServer::io_loop() {
     }
     for (Completion& comp : done) {
       const auto it = conns_.find(comp.conn_id);
-      if (it == conns_.end()) continue;
+      if (it == conns_.end()) {
+        // The connection died while its request ran on a worker. If that
+        // request opened a session, it registered after teardown's sweep —
+        // sweep again now so no session lingers with a dead owner. (The
+        // worker inserts into sessions_ before pushing the completion, so
+        // seeing the completion means seeing the registration.)
+        reap_conn_sessions(comp.conn_id);
+        continue;
+      }
       it->second->busy = false;
       start_response(*it->second, comp.resp);  // may tear the conn down
     }
@@ -447,14 +471,29 @@ void GatewayServer::start_response(Conn& c, const HttpResponse& resp) {
 }
 
 void GatewayServer::dispatch(Conn& c) {
-  c.busy = true;
   c.last_activity = Clock::now();
   Job j;
   j.conn_id = c.id;
   j.req = c.parser.request();
   jobs_inflight_.fetch_add(1, std::memory_order_acq_rel);
-  if (!jobs_.push(std::move(j)))  // queue closed: shutdown already ran
-    jobs_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  const auto res = jobs_.try_push(j);  // never block the event loop
+  if (res == serve::BoundedQueue<Job>::PushResult::kAccepted) {
+    c.busy = true;
+    return;
+  }
+  jobs_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (res == serve::BoundedQueue<Job>::PushResult::kFull) {
+    // Every worker is busy and the queue is at capacity: overload, answered
+    // with the same well-formed 503 + Retry-After as the other shed paths.
+    {
+      std::lock_guard<std::mutex> lk(stats_m_);
+      ++st_.dispatch_rejected;
+    }
+    HttpResponse r = error_response(503, "gateway worker queue full");
+    r.close = true;
+    start_response(c, r);  // may tear the connection down
+  }
+  // kClosed: shutdown already ran; the drain pass closes the connection.
 }
 
 void GatewayServer::teardown(std::uint64_t conn_id) {
@@ -466,6 +505,10 @@ void GatewayServer::teardown(std::uint64_t conn_id) {
     std::lock_guard<std::mutex> lk(stats_m_);
     if (st_.connections_open > 0) --st_.connections_open;
   }
+  reap_conn_sessions(conn_id);
+}
+
+void GatewayServer::reap_conn_sessions(std::uint64_t conn_id) {
   // The half-close fix: sessions this connection opened are closed *now*
   // (through InferenceServer::close_session, freeing the engine lease and
   // the tenant's quota slot) instead of idling until heartbeat expiry.
@@ -482,13 +525,16 @@ void GatewayServer::teardown(std::uint64_t conn_id) {
       }
     }
   }
-  if (!owned.empty()) {
-    Job j;
-    j.conn_id = conn_id;
-    j.close_sessions = std::move(owned);
-    jobs_inflight_.fetch_add(1, std::memory_order_acq_rel);
-    if (!jobs_.push(std::move(j)))
-      jobs_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (owned.empty()) return;
+  Job j;
+  j.conn_id = conn_id;
+  j.close_sessions = std::move(owned);
+  jobs_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (jobs_.try_push(j) != serve::BoundedQueue<Job>::PushResult::kAccepted) {
+    jobs_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    // Full (or closing): park it — io_loop retries every iteration, and a
+    // session close must never be dropped (it frees an engine lease).
+    pending_jobs_.push_back(std::move(j));
   }
 }
 

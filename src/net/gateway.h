@@ -106,6 +106,7 @@ struct GatewayStats {
   std::uint64_t peak_connections = 0;
   std::uint64_t accept_rejected = 0;    ///< connection cap 503s
   std::uint64_t accept_faults = 0;      ///< net.accept injections torn
+  std::uint64_t dispatch_rejected = 0;  ///< worker-queue-full 503s
   std::uint64_t requests = 0;           ///< complete requests parsed
   std::uint64_t responses_2xx = 0;
   std::uint64_t responses_3xx = 0;
@@ -181,6 +182,10 @@ class GatewayServer {
   /// Closes the fd, erases the connection, and hands its sessions to a
   /// worker for closing. Never throws.
   void teardown(std::uint64_t conn_id);
+  /// Sweeps sessions_ for entries owned by `conn_id` and hands them to a
+  /// worker for closing (deferred to pending_jobs_ if the queue is full).
+  /// IO thread only.
+  void reap_conn_sessions(std::uint64_t conn_id);
   void dispatch(Conn& c);
   /// Serializes `resp` onto the connection's write buffer (forcing close
   /// while draining) and starts flushing.
@@ -213,6 +218,9 @@ class GatewayServer {
   std::thread io_thread_;
   std::vector<std::thread> workers_;
   serve::BoundedQueue<Job> jobs_;
+  /// Close-session jobs the bounded queue refused; retried every io_loop
+  /// iteration. IO-thread-owned — the event loop never blocks on jobs_.
+  std::vector<Job> pending_jobs_;
   std::atomic<std::uint64_t> jobs_inflight_{0};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};

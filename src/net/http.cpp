@@ -174,6 +174,17 @@ bool HttpParser::finish_headers() {
     fail(400, "both Content-Length and Transfer-Encoding");
     return false;
   }
+  // Duplicate Content-Length headers carry ambiguous framing (the classic
+  // request-smuggling vector behind a proxy) — reject per RFC 7230 3.3.3.
+  if (cl != nullptr) {
+    std::size_t cl_count = 0;
+    for (const auto& [k, v] : req_.headers)
+      if (k == "content-length") ++cl_count;
+    if (cl_count > 1) {
+      fail(400, "duplicate Content-Length");
+      return false;
+    }
+  }
   if (te != nullptr) {
     if (to_lower(strip(*te)) != "chunked") {
       fail(400, "unsupported transfer-encoding");
@@ -299,10 +310,21 @@ HttpParser::Status HttpParser::run() {
       }
       case State::kTrailer: {
         const std::size_t before = buf_.size();
-        if (!take_line(line, limits_.max_header_bytes - trailer_bytes_, 431,
-                       "trailer section too large"))
+        // Saturating cap: take_line may consume one byte past the cap (the
+        // LF), so trailer_bytes_ can momentarily exceed the limit — the
+        // post-increment guard below catches that before the subtraction
+        // here could ever wrap.
+        const std::size_t cap =
+            limits_.max_header_bytes > trailer_bytes_
+                ? limits_.max_header_bytes - trailer_bytes_
+                : 0;
+        if (!take_line(line, cap, 431, "trailer section too large"))
           return state_ == State::kError ? Status::kError : Status::kNeedMore;
         trailer_bytes_ += before - buf_.size();
+        if (trailer_bytes_ > limits_.max_header_bytes) {
+          fail(431, "trailer section too large");
+          return Status::kError;
+        }
         if (line.empty()) {
           state_ = State::kDone;
           break;

@@ -233,6 +233,9 @@ void publish_gateway_stats(MetricsRegistry& reg, const net::GatewayStats& s,
   set_counter(reg, "sne_gateway_accept_faults_total", base,
               "accepts torn by a net.accept fault or syscall failure",
               s.accept_faults);
+  set_counter(reg, "sne_gateway_dispatch_rejected_total", base,
+              "requests answered 503 because the worker queue was full",
+              s.dispatch_rejected);
   set_counter(reg, "sne_gateway_requests_total", base,
               "complete HTTP requests parsed", s.requests);
   const char* class_help = "HTTP responses by status class";

@@ -298,6 +298,26 @@ TEST(GatewayTest, MalformedRequestsGetClientErrorsNeverCrashes) {
         "Transfer-Encoding: chunked\r\n\r\n");
     EXPECT_EQ(c.read_response().status, 400);
   }
+  {  // Duplicate Content-Length headers: 400 — ambiguous framing is the
+    // classic request-smuggling vector, rejected per RFC 7230 3.3.3.
+    net::HttpClient c = stack.connect();
+    c.send_raw(
+        "POST /v1/infer HTTP/1.1\r\nContent-Length: 100\r\n"
+        "Content-Length: 0\r\n\r\n");
+    EXPECT_EQ(c.read_response().status, 400);
+  }
+  {  // Chunked trailer flood: the trailer section hits the same 431 cap as
+    // the header section instead of buffering without bound.
+    net::HttpClient c = stack.connect();
+    std::string req =
+        "POST /v1/infer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        "0\r\n";
+    for (int i = 0; i < 400; ++i)
+      req += "X-Trailer-" + std::to_string(i) + ": " + std::string(40, 't') +
+             "\r\n";
+    c.send_raw(req);
+    EXPECT_EQ(c.read_response().status, 431);
+  }
   {  // Declared body above the limit: 413 without reading the body.
     net::HttpClient c = stack.connect();
     c.send_raw("POST /v1/infer HTTP/1.1\r\nContent-Length: 999999\r\n\r\n");
@@ -333,7 +353,7 @@ TEST(GatewayTest, MalformedRequestsGetClientErrorsNeverCrashes) {
     EXPECT_EQ(c.request("GET", "/healthz").status, 200);
   }
   const net::GatewayStats gs = stack.gateway->stats();
-  EXPECT_GE(gs.parse_errors, 5u);
+  EXPECT_GE(gs.parse_errors, 7u);
 }
 
 // --- deadlines and overload --------------------------------------------------
@@ -343,10 +363,11 @@ TEST(GatewayTest, QueueAgedDeadlineBecomes504) {
   so.engines = 1;
   Stack stack(Stack::anonymous_config(), so);
 
-  // First dispatch stalls 400 ms, so the second request's 30 ms budget
-  // burns in the queue and it sheds with DeadlineExceeded -> 504.
+  // First dispatch stalls 1 s (wide enough that sanitizer slowdowns can't
+  // close the window), so the second request's 30 ms budget burns in the
+  // queue and it sheds with DeadlineExceeded -> 504.
   faults::FaultConfig fc;
-  fc.rules.push_back({"serve.server.dispatch", {1}, 0.0, /*stall_ms=*/400.0});
+  fc.rules.push_back({"serve.server.dispatch", {1}, 0.0, /*stall_ms=*/1000.0});
   faults::ScopedFaults chaos(fc);
 
   const std::string body =
@@ -372,6 +393,10 @@ TEST(GatewayTest, QueueAgedDeadlineBecomes504) {
 TEST(GatewayTest, TenantQueueOverloadBecomes503WithRetryAfter) {
   net::GatewayConfig gc;
   gc.bearer_tokens["sk-small"] = "small";
+  // Three workers so all three requests reach try_submit concurrently: the
+  // shed must happen *while* the others are in flight, not after a race
+  // against the server draining its queue.
+  gc.workers = 3;
   serve::ServeOptions so = Stack::serve_options();
   so.engines = 1;
   Stack stack(gc, so);
@@ -379,8 +404,10 @@ TEST(GatewayTest, TenantQueueOverloadBecomes503WithRetryAfter) {
   tc.max_queue = 1;
   stack.server->register_tenant("small", tc);
 
+  // The stall holds the tenant queue full while requests 2 and 3 arrive;
+  // generous so sanitizer-slowed parsing can't outlive the window.
   faults::FaultConfig fc;
-  fc.rules.push_back({"serve.server.dispatch", {1}, 0.0, /*stall_ms=*/500.0});
+  fc.rules.push_back({"serve.server.dispatch", {1}, 0.0, /*stall_ms=*/1500.0});
   faults::ScopedFaults chaos(fc);
 
   const std::string body =
@@ -405,7 +432,8 @@ TEST(GatewayTest, TenantQueueOverloadBecomes503WithRetryAfter) {
   EXPECT_EQ(c1.read_response().status, 200);
   EXPECT_EQ(c2.read_response().status, 200);
 
-  const TenantStats& ts = tenant_stats(stack.server->stats(), "small");
+  const serve::ServerStats st = stack.server->stats();
+  const TenantStats& ts = tenant_stats(st, "small");
   EXPECT_EQ(ts.completed, 2u);
   EXPECT_EQ(ts.rejected, 1u);
   EXPECT_EQ(ts.completed + ts.failed, ts.submitted);
@@ -520,7 +548,8 @@ TEST(GatewayTest, NetFaultsFailExactlyOneConnectionEach) {
 
   // Chaos accounting invariant: the torn-write request completed, the
   // torn-read and torn-accept ones never reached admission.
-  const TenantStats& ts = tenant_stats(stack.server->stats(), "t");
+  const serve::ServerStats st = stack.server->stats();
+  const TenantStats& ts = tenant_stats(st, "t");
   EXPECT_EQ(ts.submitted, 4u);
   EXPECT_EQ(ts.completed, 4u);
   EXPECT_EQ(ts.completed + ts.failed, ts.submitted);
